@@ -1,0 +1,76 @@
+//! Criterion benchmarks: cost of BPart's design knobs (the quality side of
+//! these ablations is the `ablation` harness binary).
+
+use bpart_core::prelude::*;
+use bpart_graph::generate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_indicator_weight(c: &mut Criterion) {
+    let graph = generate::twitter_like().generate_scaled(0.02);
+    let mut group = c.benchmark_group("bpart_indicator_weight_c");
+    group.sample_size(10);
+    for cw in [0.0f64, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(cw), &cw, |b, &cw| {
+            b.iter(|| {
+                BPart::new(BPartConfig {
+                    c: cw,
+                    ..Default::default()
+                })
+                .partition(&graph, 8)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_layer_budget(c: &mut Criterion) {
+    let graph = generate::twitter_like().generate_scaled(0.02);
+    let mut group = c.benchmark_group("bpart_max_layers");
+    group.sample_size(10);
+    for layers in [1u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(layers),
+            &layers,
+            |b, &layers| {
+                b.iter(|| {
+                    BPart::new(BPartConfig {
+                        max_layers: layers,
+                        ..Default::default()
+                    })
+                    .partition(&graph, 8)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stream_order(c: &mut Criterion) {
+    let graph = generate::twitter_like().generate_scaled(0.02);
+    let mut group = c.benchmark_group("bpart_stream_order");
+    group.sample_size(10);
+    for (label, order) in [
+        ("natural", StreamOrder::Natural),
+        ("random", StreamOrder::Random(5)),
+        ("bfs", StreamOrder::Bfs),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &order, |b, order| {
+            b.iter(|| {
+                BPart::new(BPartConfig {
+                    order: *order,
+                    ..Default::default()
+                })
+                .partition(&graph, 8)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_indicator_weight,
+    bench_layer_budget,
+    bench_stream_order
+);
+criterion_main!(benches);

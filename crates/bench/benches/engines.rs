@@ -1,0 +1,97 @@
+//! Criterion benchmarks: engine throughput — PageRank iterations and
+//! random-walk stepping — under contrasting partitioners.
+
+use bpart_core::prelude::*;
+use bpart_engine::{apps as eapps, IterationEngine};
+use bpart_graph::generate;
+use bpart_walker::{apps as wapps, WalkEngine, WalkStarts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+fn bench_pagerank(c: &mut Criterion) {
+    let graph = Arc::new(generate::twitter_like().generate_scaled(0.02));
+    let mut group = c.benchmark_group("pagerank_5iter_8machines");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64 * 5));
+    group.sample_size(10);
+    for scheme in [
+        &ChunkV as &dyn Partitioner,
+        &HashPartitioner::default(),
+        &BPart::default(),
+    ] {
+        let partition = Arc::new(scheme.partition(&graph, 8));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &partition,
+            |b, partition| {
+                b.iter(|| {
+                    IterationEngine::default_for(graph.clone(), partition.clone())
+                        .run(&eapps::PageRank::new(5))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let graph = Arc::new(generate::friendster_like().generate_scaled(0.02));
+    let starts = WalkStarts::PerVertex(2);
+    let mut group = c.benchmark_group("randomwalk_4steps_8machines");
+    group.throughput(Throughput::Elements(graph.num_vertices() as u64 * 2 * 4));
+    group.sample_size(10);
+    for scheme in [
+        &ChunkE as &dyn Partitioner,
+        &HashPartitioner::default(),
+        &BPart::default(),
+    ] {
+        let partition = Arc::new(scheme.partition(&graph, 8));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &partition,
+            |b, partition| {
+                b.iter(|| {
+                    WalkEngine::default_for(graph.clone(), partition.clone()).run(
+                        &wapps::SimpleRandomWalk::new(4),
+                        &starts,
+                        9,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_node2vec_sampling(c: &mut Criterion) {
+    // Rejection sampling cost per step (KnightKing's trick vs plain walks).
+    let graph = Arc::new(generate::twitter_like().generate_scaled(0.02));
+    let partition = Arc::new(BPart::default().partition(&graph, 8));
+    let starts = WalkStarts::PerVertex(1);
+    let mut group = c.benchmark_group("walk_apps_10steps");
+    group.sample_size(10);
+    let apps: Vec<Box<dyn bpart_walker::WalkApp>> = vec![
+        Box::new(wapps::DeepWalk::new(10)),
+        Box::new(wapps::Node2vec::new(2.0, 0.5, 10)),
+        Box::new(wapps::Ppr::new(0.1, 10)),
+    ];
+    for app in &apps {
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), app, |b, app| {
+            b.iter(|| {
+                WalkEngine::default_for(graph.clone(), partition.clone()).run(
+                    app.as_ref(),
+                    &starts,
+                    13,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pagerank,
+    bench_walks,
+    bench_node2vec_sampling
+);
+criterion_main!(benches);

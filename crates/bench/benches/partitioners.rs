@@ -1,0 +1,45 @@
+//! Criterion benchmarks: partitioning throughput of every scheme
+//! (Table 2's measurement as a statistically sound microbenchmark).
+
+use bpart_core::prelude::*;
+use bpart_graph::generate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let graph = generate::twitter_like().generate_scaled(0.05);
+    let schemes: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(ChunkV),
+        Box::new(ChunkE),
+        Box::new(HashPartitioner::default()),
+        Box::new(Fennel::default()),
+        Box::new(BPart::default()),
+        Box::new(bpart_multilevel::Multilevel::default()),
+    ];
+    let mut group = c.benchmark_group("partition_twitter_like_5pct_k8");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    group.sample_size(10);
+    for scheme in &schemes {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            scheme,
+            |b, scheme| b.iter(|| scheme.partition(&graph, 8)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_partition_scaling(c: &mut Criterion) {
+    // BPart cost versus the number of requested parts.
+    let graph = generate::twitter_like().generate_scaled(0.05);
+    let mut group = c.benchmark_group("bpart_vs_num_parts");
+    group.sample_size(10);
+    for k in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| BPart::default().partition(&graph, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_partition_scaling);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 8 — the weighted policy (Eq. 1, c = 1/2) over 64 pieces on the
+//! Twitter-like graph: neither dimension is balanced alone, but skew drops
+//! versus Fig. 6 and the two distributions become inversely proportional
+//! (pieces are reordered by |V_i| as in the paper's plot).
+
+use bpart_bench::{banner, dataset, f3};
+use bpart_core::bpart::WeightedStream;
+use bpart_core::prelude::*;
+
+fn main() {
+    banner(
+        "Figure 8",
+        "weighted-policy piece ratios, twitter_like, 64 pieces, c = 1/2",
+    );
+    let g = dataset("twitter_like");
+    let pieces = ((64.0 * bpart_bench::scale()).round() as usize).clamp(8, 64);
+    let p = WeightedStream::default().partition(&g, pieces);
+    let n = g.num_vertices() as f64;
+    let m = g.num_edges() as f64;
+    let d_bar = g.average_degree();
+
+    let mut pieces: Vec<(f64, f64)> = p
+        .vertex_counts()
+        .iter()
+        .zip(p.edge_counts())
+        .map(|(&v, &e)| (v as f64, e as f64))
+        .collect();
+    pieces.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    println!("piece (sorted by |V_i|):   V_i/V     E_i/E     W_i");
+    for (i, (v, e)) in pieces.iter().enumerate() {
+        let w = 0.5 * v + 0.5 * e / d_bar;
+        println!(
+            "   {i:>3}                  {:>7}   {:>7}   {w:>8.1}",
+            f3(v / n),
+            f3(e / m)
+        );
+    }
+
+    let vs: Vec<f64> = pieces.iter().map(|&(v, _)| v).collect();
+    let es: Vec<f64> = pieces.iter().map(|&(_, e)| e).collect();
+    println!(
+        "\nsummary: vertex bias = {}, edge bias = {}, corr(|V_i|, |E_i|) = {}",
+        f3(metrics::bias(p.vertex_counts())),
+        f3(metrics::bias(p.edge_counts())),
+        f3(pearson(&vs, &es)),
+    );
+    println!(
+        "expected shape: both biases well below the imbalanced dimension of Fig. 6,\n\
+         correlation strongly negative (inverse proportionality), W_i near-constant."
+    );
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(&x, &y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|&x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = b.iter().map(|&y| (y - mb) * (y - mb)).sum();
+    cov / (va.sqrt() * vb.sqrt()).max(f64::MIN_POSITIVE)
+}

@@ -1,0 +1,44 @@
+//! Figure 10 — balanced degree measured with the bias metric: each point
+//! is (vertex bias, edge bias) for one scheme at one subgraph count
+//! (k = 4, 8, 16) on each dataset. Vertex-balanced schemes hug the y-axis,
+//! edge-balanced ones the x-axis; BPart sits near the origin.
+
+use bpart_bench::{banner, datasets, f3, render_table};
+use bpart_core::prelude::*;
+
+fn main() {
+    banner(
+        "Figure 10",
+        "bias scatter (vertex bias, edge bias), k in {4, 8, 16}",
+    );
+    let schemes: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(ChunkV),
+        Box::new(ChunkE),
+        Box::new(Fennel::default()),
+        Box::new(BPart::default()),
+    ];
+    let header: Vec<String> = ["dataset", "scheme", "k", "vertex bias", "edge bias"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for (name, g) in datasets() {
+        let mut rows = Vec::new();
+        for scheme in &schemes {
+            for k in [4usize, 8, 16] {
+                let p = scheme.partition(&g, k);
+                rows.push(vec![
+                    name.clone(),
+                    scheme.name().to_string(),
+                    k.to_string(),
+                    f3(metrics::bias(p.vertex_counts())),
+                    f3(metrics::bias(p.edge_counts())),
+                ]);
+            }
+        }
+        println!("{}", render_table(&header, &rows));
+    }
+    println!(
+        "expected shape: Chunk-V/Fennel have ~0 vertex bias but large (and k-growing)\n\
+         edge bias; Chunk-E the reverse; BPart stays < 0.1 in BOTH dimensions at every k."
+    );
+}

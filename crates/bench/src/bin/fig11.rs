@@ -1,0 +1,46 @@
+//! Figure 11 — Jain's fairness index of per-part vertex counts (a) and
+//! edge counts (b) when partitioning the Twitter-like graph into 8 to 128
+//! subgraphs.
+
+use bpart_bench::{banner, dataset, f3, render_table};
+use bpart_core::prelude::*;
+
+fn main() {
+    banner(
+        "Figure 11",
+        "Jain fairness vs number of subgraphs, twitter_like",
+    );
+    let g = dataset("twitter_like");
+    let schemes: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(ChunkV),
+        Box::new(ChunkE),
+        Box::new(Fennel::default()),
+        Box::new(BPart::default()),
+    ];
+    let ks = [8usize, 16, 32, 64, 128];
+
+    for (dim, pick) in [("vertices", true), ("edges", false)] {
+        let mut header = vec!["scheme".to_string()];
+        header.extend(ks.iter().map(|k| format!("k={k}")));
+        let mut rows = Vec::new();
+        for scheme in &schemes {
+            let mut row = vec![scheme.name().to_string()];
+            for &k in &ks {
+                let p = scheme.partition(&g, k);
+                let fairness = if pick {
+                    metrics::jain_fairness(p.vertex_counts())
+                } else {
+                    metrics::jain_fairness(p.edge_counts())
+                };
+                row.push(f3(fairness));
+            }
+            rows.push(row);
+        }
+        println!("({}) fairness of {dim}", if pick { "a" } else { "b" });
+        println!("{}", render_table(&header, &rows));
+    }
+    println!(
+        "expected shape: BPart stays ~1.0 in both panels at every k; the one-dimensional\n\
+         schemes degrade in their weak dimension as k grows."
+    );
+}

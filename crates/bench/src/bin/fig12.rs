@@ -1,0 +1,53 @@
+//! Figure 12 — per-machine computation time in each of the four
+//! iterations: 5|V| walks of 4 steps on the Friendster-like graph, 8
+//! machines, comparing Fennel, Chunk-V, Chunk-E and BPart.
+
+use bpart_bench::{banner, dataset, render_table};
+use bpart_core::prelude::*;
+use bpart_walker::{apps::SimpleRandomWalk, WalkEngine, WalkStarts};
+use std::sync::Arc;
+
+fn main() {
+    banner(
+        "Figure 12",
+        "per-machine compute time per iteration, friendster_like, 8 machines",
+    );
+    let g = Arc::new(dataset("friendster_like"));
+    let schemes: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(Fennel::default()),
+        Box::new(ChunkV),
+        Box::new(ChunkE),
+        Box::new(BPart::default()),
+    ];
+    let mut header = vec!["scheme".to_string(), "iter".to_string()];
+    header.extend((0..8).map(|m| format!("M{m}")));
+    header.push("max/min".to_string());
+    let mut rows = Vec::new();
+    for scheme in &schemes {
+        let p = Arc::new(scheme.partition(&g, 8));
+        let run = WalkEngine::default_for(g.clone(), p).run(
+            &SimpleRandomWalk::new(4),
+            &WalkStarts::PerVertex(5),
+            0xF1612,
+        );
+        for (i, rec) in run.telemetry.records().iter().enumerate() {
+            let mut row = vec![scheme.name().to_string(), format!("Iter{i}")];
+            row.extend(rec.compute.iter().map(|c| format!("{c:.0}")));
+            let max = rec.compute.iter().cloned().fold(f64::MIN, f64::max);
+            let min = rec
+                .compute
+                .iter()
+                .cloned()
+                .fold(f64::MAX, f64::min)
+                .max(1.0);
+            row.push(format!("{:.2}", max / min));
+            rows.push(row);
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "expected shape: Fennel/Chunk-V/Chunk-E show strongly unequal compute per\n\
+         iteration (machines wait for the slowest); BPart's columns are near-equal\n\
+         in every iteration."
+    );
+}

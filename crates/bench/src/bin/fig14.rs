@@ -1,0 +1,33 @@
+//! Figure 14 — normalized total running time of the seven applications
+//! under each partitioning scheme (k = 8), normalized to Chunk-V = 1.
+
+use bpart_bench::{app_names, banner, datasets, f3, render_table, run_paper_apps, schemes};
+use std::sync::Arc;
+
+fn main() {
+    banner(
+        "Figure 14",
+        "normalized running time of 7 apps, k = 8, Chunk-V = 1.0",
+    );
+    for (name, g) in datasets() {
+        let g = Arc::new(g);
+        let mut header = vec!["scheme".to_string()];
+        header.extend(app_names().iter().map(|s| s.to_string()));
+        let mut rows = Vec::new();
+        let mut baseline: Option<Vec<f64>> = None;
+        for scheme in schemes() {
+            let p = Arc::new(scheme.partition(&g, 8));
+            let times = run_paper_apps(&g, &p, 0xF1614);
+            let base = baseline.get_or_insert_with(|| times.clone());
+            let mut row = vec![scheme.name().to_string()];
+            row.extend(times.iter().zip(base.iter()).map(|(t, b)| f3(t / b)));
+            rows.push(row);
+        }
+        println!("--- {name} ---");
+        println!("{}", render_table(&header, &rows));
+    }
+    println!(
+        "expected shape: BPart has the lowest normalized time for every app\n\
+         (paper: 5-70% faster than Fennel/Chunk-V, 10-60% faster than Chunk-E)."
+    );
+}

@@ -1,0 +1,54 @@
+//! §4.2 (text) + §5 — comparison with the non-streaming baselines: the
+//! Mt-KaHIP-style multilevel partitioner balances vertices tightly
+//! (paper: bias 0.03) but leaves edges skewed (paper: 2.59 / 2.56 / 0.70),
+//! and GD (projected gradient descent) balances both dimensions but costs
+//! far more time and only supports power-of-two part counts. BPart keeps
+//! both biases under 0.1 at streaming cost.
+
+use bpart_bench::{banner, datasets, f3, render_table, timed};
+use bpart_core::gd::GdPartitioner;
+use bpart_core::prelude::*;
+use bpart_multilevel::Multilevel;
+
+fn main() {
+    banner(
+        "Mt-KaHIP comparison (§4.2)",
+        "bias at k = 8: multilevel offline vs BPart",
+    );
+    let header: Vec<String> = [
+        "dataset",
+        "scheme",
+        "vertex bias",
+        "edge bias",
+        "edge-cut",
+        "time (s)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for (name, g) in datasets() {
+        for scheme in [
+            &Multilevel::default() as &dyn Partitioner,
+            &GdPartitioner::default(),
+            &BPart::default(),
+        ] {
+            let (p, secs) = timed(|| scheme.partition(&g, 8));
+            rows.push(vec![
+                name.clone(),
+                scheme.name().to_string(),
+                f3(metrics::bias(p.vertex_counts())),
+                f3(metrics::bias(p.edge_counts())),
+                f3(metrics::edge_cut_ratio(&g, &p)),
+                format!("{secs:.3}"),
+            ]);
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "expected shape: the multilevel baseline's vertex bias is tiny but its edge\n\
+         bias is large (the paper's 0.70-2.59 range); GD balances both dimensions but\n\
+         costs an order of magnitude more time than BPart (and is limited to\n\
+         power-of-two part counts); BPart keeps both < 0.1 at streaming cost."
+    );
+}

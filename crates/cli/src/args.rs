@@ -1,0 +1,291 @@
+//! Hand-rolled argument parsing (the workspace deliberately avoids heavy
+//! CLI dependencies; see DESIGN.md §6).
+
+use std::fmt;
+
+/// A parsed `bpart` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `bpart generate --preset P [--scale F] [--seed N] --out FILE`
+    Generate {
+        preset: String,
+        scale: f64,
+        seed: Option<u64>,
+        out: String,
+    },
+    /// `bpart stats GRAPH`
+    Stats { graph: String },
+    /// `bpart partition GRAPH --parts K [--scheme S] [--out FILE]`
+    Partition {
+        graph: String,
+        parts: usize,
+        scheme: String,
+        out: Option<String>,
+    },
+    /// `bpart quality GRAPH PARTITION`
+    Quality { graph: String, partition: String },
+    /// `bpart convert SRC DST`
+    Convert { src: String, dst: String },
+    /// `bpart schemes`
+    Schemes,
+    /// `bpart --help`
+    Help,
+}
+
+/// Argument errors with a human-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let mut it = argv.iter().map(String::as_str);
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let rest: Vec<&str> = it.collect();
+    match cmd {
+        "--help" | "-h" | "help" => Ok(Command::Help),
+        "schemes" => Ok(Command::Schemes),
+        "generate" => {
+            let (flags, positional) = split_flags(&rest)?;
+            if !positional.is_empty() {
+                return Err(err(format!(
+                    "generate takes no positional args, got {positional:?}"
+                )));
+            }
+            let preset = get_required(&flags, "preset")?;
+            let scale = match get_optional(&flags, "scale") {
+                Some(s) => s.parse().map_err(|_| err(format!("bad --scale {s:?}")))?,
+                None => 1.0,
+            };
+            if scale <= 0.0 {
+                return Err(err("--scale must be positive"));
+            }
+            let seed = match get_optional(&flags, "seed") {
+                Some(s) => Some(s.parse().map_err(|_| err(format!("bad --seed {s:?}")))?),
+                None => None,
+            };
+            let out = get_required(&flags, "out")?;
+            check_unknown(&flags, &["preset", "scale", "seed", "out"])?;
+            Ok(Command::Generate {
+                preset,
+                scale,
+                seed,
+                out,
+            })
+        }
+        "stats" => {
+            let (flags, positional) = split_flags(&rest)?;
+            check_unknown(&flags, &[])?;
+            match positional.as_slice() {
+                [graph] => Ok(Command::Stats {
+                    graph: graph.to_string(),
+                }),
+                other => Err(err(format!(
+                    "stats takes one GRAPH argument, got {other:?}"
+                ))),
+            }
+        }
+        "partition" => {
+            let (flags, positional) = split_flags(&rest)?;
+            let graph = match positional.as_slice() {
+                [g] => g.to_string(),
+                other => {
+                    return Err(err(format!(
+                        "partition takes one GRAPH argument, got {other:?}"
+                    )))
+                }
+            };
+            let parts: usize = get_required(&flags, "parts")?
+                .parse()
+                .map_err(|_| err("bad --parts"))?;
+            if parts == 0 {
+                return Err(err("--parts must be at least 1"));
+            }
+            let scheme = get_optional(&flags, "scheme")
+                .unwrap_or("bpart")
+                .to_string();
+            let out = get_optional(&flags, "out").map(str::to_string);
+            check_unknown(&flags, &["parts", "scheme", "out"])?;
+            Ok(Command::Partition {
+                graph,
+                parts,
+                scheme,
+                out,
+            })
+        }
+        "quality" => {
+            let (flags, positional) = split_flags(&rest)?;
+            check_unknown(&flags, &[])?;
+            match positional.as_slice() {
+                [g, p] => Ok(Command::Quality {
+                    graph: g.to_string(),
+                    partition: p.to_string(),
+                }),
+                other => Err(err(format!(
+                    "quality takes GRAPH and PARTITION arguments, got {other:?}"
+                ))),
+            }
+        }
+        "convert" => {
+            let (flags, positional) = split_flags(&rest)?;
+            check_unknown(&flags, &[])?;
+            match positional.as_slice() {
+                [s, d] => Ok(Command::Convert {
+                    src: s.to_string(),
+                    dst: d.to_string(),
+                }),
+                other => Err(err(format!(
+                    "convert takes SRC and DST arguments, got {other:?}"
+                ))),
+            }
+        }
+        other => Err(err(format!("unknown command {other:?} (try --help)"))),
+    }
+}
+
+/// `--flag value` pairs collected by [`split_flags`].
+type Flags<'a> = Vec<(&'a str, &'a str)>;
+
+/// Splits `--flag value` pairs from positional arguments.
+fn split_flags<'a>(rest: &[&'a str]) -> Result<(Flags<'a>, Vec<&'a str>), ParseError> {
+    let mut flags = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let tok = rest[i];
+        if let Some(name) = tok.strip_prefix("--") {
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| err(format!("--{name} needs a value")))?;
+            flags.push((name, *value));
+            i += 2;
+        } else {
+            positional.push(tok);
+            i += 1;
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn get_required(flags: &[(&str, &str)], name: &str) -> Result<String, ParseError> {
+    get_optional(flags, name)
+        .map(str::to_string)
+        .ok_or_else(|| err(format!("missing required flag --{name}")))
+}
+
+fn get_optional<'a>(flags: &[(&'a str, &'a str)], name: &str) -> Option<&'a str> {
+    flags.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+}
+
+fn check_unknown(flags: &[(&str, &str)], known: &[&str]) -> Result<(), ParseError> {
+    for (name, _) in flags {
+        if !known.contains(name) {
+            return Err(err(format!("unknown flag --{name}")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, ParseError> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = p(&[
+            "generate", "--preset", "lj_like", "--scale", "0.1", "--out", "g.txt",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                preset: "lj_like".into(),
+                scale: 0.1,
+                seed: None,
+                out: "g.txt".into()
+            }
+        );
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        let e = p(&["generate", "--preset", "lj_like"]).unwrap_err();
+        assert!(e.to_string().contains("--out"));
+    }
+
+    #[test]
+    fn parses_partition_with_defaults() {
+        let cmd = p(&["partition", "g.txt", "--parts", "8"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Partition {
+                graph: "g.txt".into(),
+                parts: 8,
+                scheme: "bpart".into(),
+                out: None
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_parts_and_bad_scale() {
+        assert!(p(&["partition", "g", "--parts", "0"]).is_err());
+        assert!(p(&["generate", "--preset", "x", "--scale", "-1", "--out", "o"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_commands() {
+        assert!(p(&["partition", "g", "--parts", "4", "--bogus", "1"]).is_err());
+        assert!(p(&["explode"]).is_err());
+    }
+
+    #[test]
+    fn flag_without_value_is_an_error() {
+        let e = p(&["partition", "g", "--parts"]).unwrap_err();
+        assert!(e.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(
+            p(&["stats", "g.txt"]).unwrap(),
+            Command::Stats {
+                graph: "g.txt".into()
+            }
+        );
+        assert_eq!(
+            p(&["quality", "g", "p"]).unwrap(),
+            Command::Quality {
+                graph: "g".into(),
+                partition: "p".into()
+            }
+        );
+        assert_eq!(
+            p(&["convert", "a", "b"]).unwrap(),
+            Command::Convert {
+                src: "a".into(),
+                dst: "b".into()
+            }
+        );
+        assert_eq!(p(&["schemes"]).unwrap(), Command::Schemes);
+        assert_eq!(p(&[]).unwrap(), Command::Help);
+        assert_eq!(p(&["--help"]).unwrap(), Command::Help);
+    }
+}

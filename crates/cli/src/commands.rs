@@ -1,0 +1,393 @@
+//! Command implementations. Each returns its output as a `String` so the
+//! behaviour is unit-testable without capturing stdout.
+
+use crate::args::Command;
+use crate::USAGE;
+use bpart_core::pio;
+use bpart_core::prelude::*;
+use bpart_graph::{generate, io, stats, CsrGraph};
+use bpart_multilevel::Multilevel;
+use std::fmt;
+use std::fs::File;
+use std::path::Path;
+use std::time::Instant;
+
+/// Errors surfaced to the user with context.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Executes a parsed command and returns its printable output.
+pub fn run(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Schemes => Ok(scheme_names().join("\n") + "\n"),
+        Command::Generate {
+            preset,
+            scale,
+            seed,
+            out,
+        } => generate_cmd(preset, *scale, *seed, out),
+        Command::Stats { graph } => stats_cmd(graph),
+        Command::Partition {
+            graph,
+            parts,
+            scheme,
+            out,
+        } => partition_cmd(graph, *parts, scheme, out.as_deref()),
+        Command::Quality { graph, partition } => quality_cmd(graph, partition),
+        Command::Convert { src, dst } => convert_cmd(src, dst),
+    }
+}
+
+/// All scheme names accepted by `--scheme`.
+pub fn scheme_names() -> Vec<&'static str> {
+    vec![
+        "chunk-v",
+        "chunk-e",
+        "hash",
+        "fennel",
+        "ldg",
+        "bpart",
+        "bpart-p1",
+        "multilevel",
+        "gd",
+    ]
+}
+
+/// Resolves a scheme name to a partitioner.
+pub fn scheme_by_name(name: &str) -> Result<Box<dyn Partitioner>, CliError> {
+    Ok(match name {
+        "chunk-v" => Box::new(ChunkV),
+        "chunk-e" => Box::new(ChunkE),
+        "hash" => Box::new(HashPartitioner::default()),
+        "fennel" => Box::new(Fennel::default()),
+        "ldg" => Box::new(Ldg::default()),
+        "bpart" => Box::new(BPart::default()),
+        "bpart-p1" => Box::new(bpart_core::bpart::WeightedStream::default()),
+        "multilevel" => Box::new(Multilevel::default()),
+        "gd" => Box::new(GdPartitioner::default()),
+        other => {
+            return Err(fail(format!(
+                "unknown scheme {other:?}; available: {}",
+                scheme_names().join(", ")
+            )))
+        }
+    })
+}
+
+fn is_binary_graph(path: &str) -> bool {
+    Path::new(path).extension().is_some_and(|e| e == "bpgr")
+}
+
+fn is_binary_partition(path: &str) -> bool {
+    Path::new(path).extension().is_some_and(|e| e == "bppt")
+}
+
+/// Loads a graph from text or binary by extension.
+pub fn load_graph(path: &str) -> Result<CsrGraph, CliError> {
+    let file = File::open(path).map_err(|e| fail(format!("cannot open {path}: {e}")))?;
+    if is_binary_graph(path) {
+        io::read_binary(file).map_err(|e| fail(format!("{path}: {e}")))
+    } else {
+        Ok(io::read_edge_list(file)
+            .map_err(|e| fail(format!("{path}: {e}")))?
+            .into_csr())
+    }
+}
+
+/// Saves a graph as text or binary by extension.
+pub fn save_graph(graph: &CsrGraph, path: &str) -> Result<(), CliError> {
+    let file = File::create(path).map_err(|e| fail(format!("cannot create {path}: {e}")))?;
+    if is_binary_graph(path) {
+        io::write_binary(graph, file).map_err(|e| fail(format!("{path}: {e}")))
+    } else {
+        io::write_edge_list(graph, file).map_err(|e| fail(format!("{path}: {e}")))
+    }
+}
+
+fn generate_cmd(
+    preset: &str,
+    scale: f64,
+    seed: Option<u64>,
+    out: &str,
+) -> Result<String, CliError> {
+    let mut recipe = generate::ALL_PRESETS
+        .iter()
+        .map(|p| p())
+        .find(|p| p.name == preset)
+        .ok_or_else(|| {
+            fail(format!(
+                "unknown preset {preset:?}; available: lj_like, twitter_like, friendster_like"
+            ))
+        })?;
+    if let Some(s) = seed {
+        recipe.seed = s;
+    }
+    let graph = recipe.generate_scaled(scale);
+    save_graph(&graph, out)?;
+    Ok(format!(
+        "wrote {out}: {} vertices, {} edges (preset {preset}, scale {scale})\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    ))
+}
+
+fn stats_cmd(path: &str) -> Result<String, CliError> {
+    let graph = load_graph(path)?;
+    let s = stats::degree_stats(&graph);
+    let (zero, buckets) = stats::log_degree_histogram(&graph);
+    let mut out = String::new();
+    out.push_str(&format!("graph: {path}\n"));
+    out.push_str(&format!("  vertices:        {}\n", s.vertices));
+    out.push_str(&format!("  edges:           {}\n", s.edges));
+    out.push_str(&format!("  average degree:  {:.2}\n", s.average));
+    out.push_str(&format!("  max degree:      {}\n", s.max));
+    out.push_str(&format!(
+        "  top-1% mass:     {:.1}%\n",
+        s.top1pct_mass * 100.0
+    ));
+    out.push_str(&format!("  degree gini:     {:.3}\n", s.gini));
+    if let Some(alpha) = s.powerlaw_alpha {
+        out.push_str(&format!("  power-law alpha: {alpha:.2}\n"));
+    }
+    out.push_str("  out-degree histogram (log2 buckets):\n");
+    out.push_str(&format!("    deg 0: {zero}\n"));
+    for (b, count) in buckets.iter().enumerate() {
+        if *count > 0 {
+            out.push_str(&format!(
+                "    deg [{}, {}): {count}\n",
+                1usize << b,
+                1usize << (b + 1)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn partition_cmd(
+    graph_path: &str,
+    parts: usize,
+    scheme_name: &str,
+    out: Option<&str>,
+) -> Result<String, CliError> {
+    let graph = load_graph(graph_path)?;
+    let scheme = scheme_by_name(scheme_name)?;
+    let start = Instant::now();
+    let partition = scheme.partition(&graph, parts);
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut text = report(&graph, &partition, scheme.name());
+    text.push_str(&format!("  partition time:  {elapsed:.3}s\n"));
+    if let Some(path) = out {
+        let file = File::create(path).map_err(|e| fail(format!("cannot create {path}: {e}")))?;
+        if is_binary_partition(path) {
+            pio::write_binary(&partition, file).map_err(|e| fail(format!("{path}: {e}")))?;
+        } else {
+            pio::write_text(&partition, file).map_err(|e| fail(format!("{path}: {e}")))?;
+        }
+        text.push_str(&format!("  wrote {path}\n"));
+    }
+    Ok(text)
+}
+
+fn quality_cmd(graph_path: &str, partition_path: &str) -> Result<String, CliError> {
+    let graph = load_graph(graph_path)?;
+    let file = File::open(partition_path)
+        .map_err(|e| fail(format!("cannot open {partition_path}: {e}")))?;
+    let partition = if is_binary_partition(partition_path) {
+        pio::read_binary(&graph, file).map_err(|e| fail(format!("{partition_path}: {e}")))?
+    } else {
+        pio::read_text(&graph, file).map_err(|e| fail(format!("{partition_path}: {e}")))?
+    };
+    Ok(report(&graph, &partition, partition_path))
+}
+
+fn convert_cmd(src: &str, dst: &str) -> Result<String, CliError> {
+    let graph = load_graph(src)?;
+    save_graph(&graph, dst)?;
+    Ok(format!(
+        "converted {src} -> {dst} ({} vertices, {} edges)\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    ))
+}
+
+fn report(graph: &CsrGraph, partition: &Partition, label: &str) -> String {
+    let q = metrics::quality(graph, partition);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "partition: {label} ({} parts)\n",
+        partition.num_parts()
+    ));
+    out.push_str(&format!("  vertex bias:     {:.4}\n", q.vertex_bias));
+    out.push_str(&format!("  edge bias:       {:.4}\n", q.edge_bias));
+    out.push_str(&format!("  vertex fairness: {:.4}\n", q.vertex_jain));
+    out.push_str(&format!("  edge fairness:   {:.4}\n", q.edge_jain));
+    out.push_str(&format!("  edge-cut ratio:  {:.4}\n", q.cut_ratio));
+    out.push_str(&format!(
+        "  |V_i|:           {:?}\n",
+        partition.vertex_counts()
+    ));
+    out.push_str(&format!(
+        "  |E_i|:           {:?}\n",
+        partition.edge_counts()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bpart_cli_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn runs(cmd: Command) -> String {
+        run(&cmd).unwrap()
+    }
+
+    #[test]
+    fn generate_stats_partition_quality_pipeline() {
+        let graph_path = tmp("pipeline.txt");
+        let parts_path = tmp("pipeline.parts");
+        let gp = graph_path.to_str().unwrap().to_string();
+        let pp = parts_path.to_str().unwrap().to_string();
+
+        let out = runs(Command::Generate {
+            preset: "lj_like".into(),
+            scale: 0.01,
+            seed: Some(5),
+            out: gp.clone(),
+        });
+        assert!(out.contains("750 vertices"), "{out}");
+
+        let out = runs(Command::Stats { graph: gp.clone() });
+        assert!(out.contains("average degree"), "{out}");
+
+        let out = runs(Command::Partition {
+            graph: gp.clone(),
+            parts: 4,
+            scheme: "bpart".into(),
+            out: Some(pp.clone()),
+        });
+        assert!(out.contains("edge-cut ratio"), "{out}");
+
+        let out = runs(Command::Quality {
+            graph: gp.clone(),
+            partition: pp.clone(),
+        });
+        assert!(out.contains("vertex bias"), "{out}");
+
+        std::fs::remove_file(graph_path).ok();
+        std::fs::remove_file(parts_path).ok();
+    }
+
+    #[test]
+    fn convert_round_trips_through_binary() {
+        let text_path = tmp("conv.txt");
+        let bin_path = tmp("conv.bpgr");
+        let back_path = tmp("conv_back.txt");
+        let tp = text_path.to_str().unwrap().to_string();
+        let bp = bin_path.to_str().unwrap().to_string();
+        let kp = back_path.to_str().unwrap().to_string();
+
+        runs(Command::Generate {
+            preset: "twitter_like".into(),
+            scale: 0.005,
+            seed: None,
+            out: tp.clone(),
+        });
+        runs(Command::Convert {
+            src: tp.clone(),
+            dst: bp.clone(),
+        });
+        runs(Command::Convert {
+            src: bp.clone(),
+            dst: kp.clone(),
+        });
+        let a = load_graph(&tp).unwrap();
+        let b = load_graph(&bp).unwrap();
+        let c = load_graph(&kp).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+
+        for p in [text_path, bin_path, back_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn binary_partition_files_round_trip() {
+        let graph_path = tmp("binparts.txt");
+        let parts_path = tmp("binparts.bppt");
+        let gp = graph_path.to_str().unwrap().to_string();
+        let pp = parts_path.to_str().unwrap().to_string();
+        runs(Command::Generate {
+            preset: "lj_like".into(),
+            scale: 0.005,
+            seed: None,
+            out: gp.clone(),
+        });
+        runs(Command::Partition {
+            graph: gp.clone(),
+            parts: 4,
+            scheme: "hash".into(),
+            out: Some(pp.clone()),
+        });
+        let out = runs(Command::Quality {
+            graph: gp.clone(),
+            partition: pp.clone(),
+        });
+        assert!(out.contains("(4 parts)"), "{out}");
+        std::fs::remove_file(graph_path).ok();
+        std::fs::remove_file(parts_path).ok();
+    }
+
+    #[test]
+    fn every_scheme_name_resolves() {
+        for name in scheme_names() {
+            scheme_by_name(name).unwrap();
+        }
+        assert!(scheme_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn gd_rejects_non_power_of_two_via_error_not_abort() {
+        // The CLI relies on the library panic; verify the resolver at least
+        // hands back the GD scheme so the binary reports the panic cleanly.
+        let s = scheme_by_name("gd").unwrap();
+        assert_eq!(s.name(), "GD");
+    }
+
+    #[test]
+    fn missing_files_are_reported_with_context() {
+        let e = run(&Command::Stats {
+            graph: "/no/such/file".into(),
+        })
+        .unwrap_err();
+        assert!(e.to_string().contains("/no/such/file"), "{e}");
+        let e = run(&Command::Generate {
+            preset: "marsgraph".into(),
+            scale: 1.0,
+            seed: None,
+            out: "x".into(),
+        })
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown preset"), "{e}");
+    }
+}

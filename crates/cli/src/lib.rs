@@ -1,0 +1,71 @@
+//! # bpart-cli — the `bpart` command-line tool
+//!
+//! A downstream-user front end over the library crates:
+//!
+//! ```text
+//! bpart generate --preset twitter_like --scale 0.1 --out graph.txt
+//! bpart stats graph.txt
+//! bpart partition graph.txt --parts 8 --scheme bpart --out graph.parts
+//! bpart quality graph.txt graph.parts
+//! bpart convert graph.txt graph.bpgr
+//! ```
+//!
+//! Graph files ending in `.bpgr` use the binary CSR format; anything else
+//! is treated as a SNAP-style text edge list. Partition files ending in
+//! `.bppt` are binary; anything else is the METIS-style one-id-per-line
+//! text format.
+//!
+//! The command logic lives in this library (returning output as a
+//! `String`) so it is unit-testable; `main.rs` is a thin shim.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+pub use commands::{run, CliError};
+
+/// Entry point shared by `main.rs` and the tests: parse then run.
+pub fn dispatch(argv: &[String]) -> Result<String, String> {
+    let command = parse(argv).map_err(|e| e.to_string())?;
+    run(&command).map_err(|e| e.to_string())
+}
+
+/// The usage text printed on `--help` or argument errors.
+pub const USAGE: &str = "\
+bpart — two-dimensional balanced graph partitioning (BPart, ICPP '22)
+
+USAGE:
+  bpart generate  --preset <lj_like|twitter_like|friendster_like> \
+[--scale F] [--seed N] --out FILE
+  bpart stats     GRAPH
+  bpart partition GRAPH --parts K [--scheme NAME] [--out FILE]
+  bpart quality   GRAPH PARTITION
+  bpart convert   SRC DST
+  bpart schemes
+
+SCHEMES:
+  chunk-v | chunk-e | hash | fennel | ldg | bpart (default) | bpart-p1 |
+  multilevel | gd
+
+FILES:
+  *.bpgr  binary CSR graph        (anything else: text edge list)
+  *.bppt  binary partition        (anything else: text, one part per line)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_reports_parse_errors() {
+        let err = dispatch(&["frobnicate".into()]).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn dispatch_runs_schemes_listing() {
+        let out = dispatch(&["schemes".into()]).unwrap();
+        assert!(out.contains("bpart"));
+        assert!(out.contains("chunk-v"));
+    }
+}

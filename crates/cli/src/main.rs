@@ -1,0 +1,19 @@
+//! `bpart` binary entry point — a thin shim over [`bpart_cli::dispatch`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match bpart_cli::dispatch(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("bpart: {message}");
+            eprintln!();
+            eprintln!("{}", bpart_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

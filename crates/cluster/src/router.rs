@@ -1,0 +1,164 @@
+//! All-to-all message routing between machines.
+//!
+//! During a superstep's computation phase each machine appends messages to
+//! per-destination outboxes; [`Router::exchange`] then delivers everything
+//! simultaneously (the BSP barrier). Delivery order is deterministic:
+//! inbox contents are concatenated in sender order, preserving each
+//! sender's append order.
+
+use crate::MachineId;
+
+/// Message buffers for a `k`-machine cluster.
+#[derive(Clone, Debug)]
+pub struct Router<M> {
+    /// `outboxes[from][to]` — staged messages.
+    outboxes: Vec<Vec<Vec<M>>>,
+    /// Cumulative per-machine sent counters (across all exchanges).
+    sent_total: Vec<u64>,
+}
+
+/// Per-superstep exchange outcome.
+#[derive(Clone, Debug, Default)]
+pub struct Exchange<M> {
+    /// Delivered messages per machine, in deterministic sender order.
+    pub inboxes: Vec<Vec<M>>,
+    /// Messages sent by each machine this superstep.
+    pub sent: Vec<u64>,
+    /// Messages received by each machine this superstep.
+    pub received: Vec<u64>,
+}
+
+impl<M> Router<M> {
+    /// A router for `k` machines.
+    pub fn new(num_machines: usize) -> Self {
+        assert!(num_machines > 0, "need at least one machine");
+        Router {
+            outboxes: (0..num_machines)
+                .map(|_| (0..num_machines).map(|_| Vec::new()).collect())
+                .collect(),
+            sent_total: vec![0; num_machines],
+        }
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.outboxes.len()
+    }
+
+    /// Stages a message from `from` to `to`.
+    #[inline]
+    pub fn send(&mut self, from: MachineId, to: MachineId, msg: M) {
+        self.outboxes[from as usize][to as usize].push(msg);
+    }
+
+    /// Gives machine `from` direct access to its outboxes (for the threaded
+    /// executor, where each machine owns its own outbox row).
+    pub fn outbox_row(&mut self, from: MachineId) -> &mut Vec<Vec<M>> {
+        &mut self.outboxes[from as usize]
+    }
+
+    /// Takes ownership of all outbox rows, leaving the router empty; used
+    /// by the threaded executor to hand each machine its own row.
+    pub fn take_rows(&mut self) -> Vec<Vec<Vec<M>>> {
+        let k = self.num_machines();
+        std::mem::replace(
+            &mut self.outboxes,
+            (0..k)
+                .map(|_| (0..k).map(|_| Vec::new()).collect())
+                .collect(),
+        )
+    }
+
+    /// Re-installs rows taken by [`take_rows`](Router::take_rows) (after
+    /// machines filled them).
+    pub fn put_rows(&mut self, rows: Vec<Vec<Vec<M>>>) {
+        assert_eq!(rows.len(), self.num_machines());
+        self.outboxes = rows;
+    }
+
+    /// Total messages staged right now.
+    pub fn staged(&self) -> u64 {
+        self.outboxes.iter().flatten().map(|b| b.len() as u64).sum()
+    }
+
+    /// Messages sent by each machine over the router's lifetime.
+    pub fn sent_totals(&self) -> &[u64] {
+        &self.sent_total
+    }
+
+    /// The BSP barrier: delivers all staged messages.
+    pub fn exchange(&mut self) -> Exchange<M> {
+        let k = self.num_machines();
+        let mut ex = Exchange {
+            inboxes: (0..k).map(|_| Vec::new()).collect(),
+            sent: vec![0; k],
+            received: vec![0; k],
+        };
+        for from in 0..k {
+            for to in 0..k {
+                let staged = std::mem::take(&mut self.outboxes[from][to]);
+                ex.sent[from] += staged.len() as u64;
+                ex.received[to] += staged.len() as u64;
+                ex.inboxes[to].extend(staged);
+            }
+            self.sent_total[from] += ex.sent[from];
+        }
+        ex
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_delivers_in_sender_order() {
+        let mut r: Router<u32> = Router::new(3);
+        r.send(2, 0, 20);
+        r.send(1, 0, 10);
+        r.send(1, 0, 11);
+        r.send(0, 0, 0); // self-message is allowed
+        let ex = r.exchange();
+        assert_eq!(ex.inboxes[0], vec![0, 10, 11, 20]);
+        assert_eq!(ex.sent, vec![1, 2, 1]);
+        assert_eq!(ex.received, vec![4, 0, 0]);
+    }
+
+    #[test]
+    fn exchange_drains_the_buffers() {
+        let mut r: Router<u8> = Router::new(2);
+        r.send(0, 1, 1);
+        assert_eq!(r.staged(), 1);
+        let _ = r.exchange();
+        assert_eq!(r.staged(), 0);
+        let ex2 = r.exchange();
+        assert!(ex2.inboxes.iter().all(|i| i.is_empty()));
+    }
+
+    #[test]
+    fn sent_totals_accumulate_across_supersteps() {
+        let mut r: Router<u8> = Router::new(2);
+        r.send(0, 1, 1);
+        r.exchange();
+        r.send(0, 1, 2);
+        r.send(1, 0, 3);
+        r.exchange();
+        assert_eq!(r.sent_totals(), &[2, 1]);
+    }
+
+    #[test]
+    fn take_and_put_rows_round_trip() {
+        let mut r: Router<u8> = Router::new(2);
+        let mut rows = r.take_rows();
+        rows[0][1].push(9);
+        r.put_rows(rows);
+        let ex = r.exchange();
+        assert_eq!(ex.inboxes[1], vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_panics() {
+        let _: Router<u8> = Router::new(0);
+    }
+}

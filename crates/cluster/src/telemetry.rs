@@ -1,0 +1,160 @@
+//! Per-iteration, per-machine execution records and the paper's aggregates.
+//!
+//! One [`IterationRecord`] is appended per superstep. The aggregates match
+//! §4's metrics:
+//!
+//! * *total running time* — Σ over iterations of
+//!   `max_i(compute_i) + max_i(comm_i)` (the slowest machine gates each
+//!   phase, Fig. 1),
+//! * *waiting time* of machine `i` — Σ of `max(compute) − compute_i`
+//!   (time spent waiting for the slowest machine, §4.3),
+//! * *waiting ratio* — total waiting over all machines divided by
+//!   `machines × total running time` (Fig. 13).
+
+use parking_lot::Mutex;
+
+/// One superstep's timings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IterationRecord {
+    /// Computation-phase time per machine.
+    pub compute: Vec<f64>,
+    /// Communication-phase time per machine.
+    pub comm: Vec<f64>,
+    /// Messages sent per machine.
+    pub sent: Vec<u64>,
+}
+
+impl IterationRecord {
+    /// Wall time of this superstep: slowest compute plus slowest comm.
+    pub fn wall_time(&self) -> f64 {
+        let max_c = self.compute.iter().cloned().fold(0.0, f64::max);
+        let max_m = self.comm.iter().cloned().fold(0.0, f64::max);
+        max_c + max_m
+    }
+
+    /// Waiting time of each machine in this superstep's computation phase.
+    pub fn waiting(&self) -> Vec<f64> {
+        let max_c = self.compute.iter().cloned().fold(0.0, f64::max);
+        self.compute.iter().map(|&c| max_c - c).collect()
+    }
+}
+
+/// Accumulates iteration records for one application run. Interior-mutable
+/// (a `parking_lot` mutex) so threaded executors can record without
+/// plumbing `&mut` through machine closures.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    records: Mutex<Vec<IterationRecord>>,
+}
+
+impl Telemetry {
+    /// Fresh, empty telemetry.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Appends one superstep record.
+    pub fn record(&self, record: IterationRecord) {
+        self.records.lock().push(record);
+    }
+
+    /// Number of supersteps recorded.
+    pub fn num_iterations(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Snapshot of all records.
+    pub fn records(&self) -> Vec<IterationRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Total modelled running time (Σ per-iteration wall time).
+    pub fn total_time(&self) -> f64 {
+        self.records.lock().iter().map(|r| r.wall_time()).sum()
+    }
+
+    /// Per-machine total waiting time across all iterations.
+    pub fn waiting_per_machine(&self) -> Vec<f64> {
+        let records = self.records.lock();
+        let Some(first) = records.first() else {
+            return Vec::new();
+        };
+        let mut waiting = vec![0.0; first.compute.len()];
+        for r in records.iter() {
+            for (w, x) in waiting.iter_mut().zip(r.waiting()) {
+                *w += x;
+            }
+        }
+        waiting
+    }
+
+    /// The paper's Fig. 13 metric: total waiting of all machines divided by
+    /// `machines × total running time`. Zero when nothing was recorded.
+    pub fn waiting_ratio(&self) -> f64 {
+        let total = self.total_time();
+        let waiting = self.waiting_per_machine();
+        if total == 0.0 || waiting.is_empty() {
+            return 0.0;
+        }
+        waiting.iter().sum::<f64>() / (waiting.len() as f64 * total)
+    }
+
+    /// Total messages sent by all machines (Fig. 5b's "total message
+    /// walks" when the engine sends one message per migrating walker).
+    pub fn total_messages(&self) -> u64 {
+        self.records
+            .lock()
+            .iter()
+            .flat_map(|r| r.sent.iter().copied())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(compute: Vec<f64>, comm: Vec<f64>, sent: Vec<u64>) -> IterationRecord {
+        IterationRecord {
+            compute,
+            comm,
+            sent,
+        }
+    }
+
+    #[test]
+    fn wall_time_takes_the_slowest_of_each_phase() {
+        let r = rec(vec![3.0, 5.0], vec![1.0, 0.5], vec![0, 0]);
+        assert_eq!(r.wall_time(), 6.0);
+        assert_eq!(r.waiting(), vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn aggregates_over_iterations() {
+        let t = Telemetry::new();
+        t.record(rec(vec![4.0, 2.0], vec![0.0, 0.0], vec![1, 2]));
+        t.record(rec(vec![1.0, 3.0], vec![1.0, 1.0], vec![3, 4]));
+        assert_eq!(t.num_iterations(), 2);
+        assert_eq!(t.total_time(), 4.0 + 4.0);
+        assert_eq!(t.waiting_per_machine(), vec![2.0, 2.0]);
+        assert_eq!(t.total_messages(), 10);
+        // waiting ratio: (2+2) / (2 machines * 8) = 0.25
+        assert!((t.waiting_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_balanced_run_has_zero_waiting() {
+        let t = Telemetry::new();
+        t.record(rec(vec![2.0, 2.0, 2.0], vec![0.5, 0.5, 0.5], vec![0, 0, 0]));
+        assert_eq!(t.waiting_ratio(), 0.0);
+    }
+
+    #[test]
+    fn empty_telemetry_is_zero() {
+        let t = Telemetry::new();
+        assert_eq!(t.total_time(), 0.0);
+        assert_eq!(t.waiting_ratio(), 0.0);
+        assert!(t.waiting_per_machine().is_empty());
+        assert_eq!(t.total_messages(), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the BSP simulator: message conservation,
+//! telemetry bounds, and exec-mode equivalence hold for arbitrary inputs.
+
+use bpart_cluster::exec::{for_each_machine, ExecMode};
+use bpart_cluster::{CostModel, IterationRecord, Router, Telemetry, WorkUnits};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn router_conserves_every_message(
+        sends in prop::collection::vec((0u32..6, 0u32..6, 0u16..100), 0..200)
+    ) {
+        let mut router: Router<u16> = Router::new(6);
+        for &(from, to, payload) in &sends {
+            router.send(from, to, payload);
+        }
+        prop_assert_eq!(router.staged(), sends.len() as u64);
+        let ex = router.exchange();
+        prop_assert_eq!(ex.sent.iter().sum::<u64>(), sends.len() as u64);
+        prop_assert_eq!(ex.received.iter().sum::<u64>(), sends.len() as u64);
+        let delivered: usize = ex.inboxes.iter().map(Vec::len).sum();
+        prop_assert_eq!(delivered, sends.len());
+        // Per-destination counts match.
+        for to in 0..6usize {
+            let expect = sends.iter().filter(|&&(_, t, _)| t as usize == to).count();
+            prop_assert_eq!(ex.inboxes[to].len(), expect);
+        }
+        // Payload multiset is preserved.
+        let mut sent_payloads: Vec<u16> = sends.iter().map(|&(_, _, p)| p).collect();
+        let mut got_payloads: Vec<u16> = ex.inboxes.into_iter().flatten().collect();
+        sent_payloads.sort_unstable();
+        got_payloads.sort_unstable();
+        prop_assert_eq!(sent_payloads, got_payloads);
+    }
+
+    #[test]
+    fn waiting_ratio_is_always_a_fraction(
+        records in prop::collection::vec(
+            prop::collection::vec(0.0f64..1000.0, 4),
+            1..20
+        )
+    ) {
+        let t = Telemetry::new();
+        for compute in &records {
+            t.record(IterationRecord {
+                compute: compute.clone(),
+                comm: vec![0.0; 4],
+                sent: vec![0; 4],
+            });
+        }
+        let ratio = t.waiting_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio), "ratio {ratio}");
+        // total time >= every machine's own compute sum
+        let total = t.total_time();
+        for m in 0..4 {
+            let own: f64 = records.iter().map(|r| r[m]).sum();
+            prop_assert!(total >= own - 1e-9);
+        }
+    }
+
+    #[test]
+    fn cost_model_is_monotone_in_work(
+        steps in 0u64..1000, edges in 0u64..1000, verts in 0u64..1000
+    ) {
+        let m = CostModel::default();
+        let w = WorkUnits { steps, edges_scanned: edges, vertices_updated: verts };
+        let t = m.compute_time(&w);
+        prop_assert!(t >= 0.0);
+        let bigger = WorkUnits { steps: steps + 1, ..w };
+        prop_assert!(m.compute_time(&bigger) > t);
+        prop_assert!(m.comm_time(steps, edges) >= 0.0);
+    }
+
+    #[test]
+    fn exec_modes_agree_on_arbitrary_state(values in prop::collection::vec(0u64..1000, 0..16)) {
+        let f = |m: u32, s: &mut u64| {
+            *s = s.wrapping_mul(31).wrapping_add(m as u64);
+            *s
+        };
+        let mut a = values.clone();
+        let mut b = values.clone();
+        let ra = for_each_machine(ExecMode::Sequential, &mut a, f);
+        let rb = for_each_machine(ExecMode::Threaded, &mut b, f);
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(a, b);
+    }
+}

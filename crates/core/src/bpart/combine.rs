@@ -1,0 +1,187 @@
+//! Phase 2 of BPart: pairwise combination of pieces (§3.3, Fig. 9).
+//!
+//! After the weighted streaming phase the pieces' vertex and edge counts
+//! are inversely proportional, so joining the piece with the fewest
+//! vertices (most edges) to the piece with the most vertices (fewest
+//! edges) averages both dimensions toward the mean simultaneously.
+
+use bpart_graph::VertexId;
+
+/// One piece (or combined subgraph): its vertices plus cached tallies.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Group {
+    /// Vertices owned by the group.
+    pub vertices: Vec<VertexId>,
+    /// `|V_i|` (cached; equals `vertices.len()`).
+    pub vertex_count: u64,
+    /// `|E_i|` — sum of the members' out-degrees.
+    pub edge_count: u64,
+}
+
+impl Group {
+    /// Creates a group from a member list and its out-degree sum.
+    pub fn new(vertices: Vec<VertexId>, edge_count: u64) -> Self {
+        let vertex_count = vertices.len() as u64;
+        Group {
+            vertices,
+            vertex_count,
+            edge_count,
+        }
+    }
+
+    /// Absorbs another group.
+    pub fn merge(&mut self, other: Group) {
+        self.vertices.extend(other.vertices);
+        self.vertex_count += other.vertex_count;
+        self.edge_count += other.edge_count;
+    }
+
+    /// True when the vertex count is within `±epsilon` of `target`.
+    pub fn balanced(&self, target: f64, epsilon: f64) -> bool {
+        within(self.vertex_count as f64, target, epsilon)
+    }
+
+    /// True when the edge count is within `±epsilon` of `target`.
+    pub fn edge_balanced(&self, target: f64, epsilon: f64) -> bool {
+        within(self.edge_count as f64, target, epsilon)
+    }
+}
+
+fn within(value: f64, target: f64, epsilon: f64) -> bool {
+    if target == 0.0 {
+        return value == 0.0;
+    }
+    (value - target).abs() <= epsilon * target
+}
+
+/// One combination round: sort by vertex count ascending and merge the
+/// `i`-th lightest with the `i`-th heaviest, halving the group count.
+///
+/// # Panics
+///
+/// Panics if the group count is odd (the layer arithmetic in
+/// [`BPart`](crate::BPart) always produces even counts).
+pub fn combine_round(mut groups: Vec<Group>) -> Vec<Group> {
+    assert!(
+        groups.len() % 2 == 0,
+        "combine_round needs an even group count"
+    );
+    // Deterministic ordering: vertices ascending, then edges descending
+    // (inverse proportionality makes these mostly agree), then member id.
+    groups.sort_by(|a, b| {
+        a.vertex_count
+            .cmp(&b.vertex_count)
+            .then(b.edge_count.cmp(&a.edge_count))
+            .then(a.vertices.first().cmp(&b.vertices.first()))
+    });
+    let half = groups.len() / 2;
+    let mut heavy = groups.split_off(half);
+    // `groups` now holds the lightest half ascending; pair groups[i] with
+    // the heaviest remaining, i.e. heavy in reverse.
+    let mut out = Vec::with_capacity(half);
+    for light in groups {
+        let mut merged = light;
+        merged.merge(heavy.pop().expect("halves have equal length"));
+        out.push(merged);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(id_base: u32, v: u64, e: u64) -> Group {
+        Group::new((id_base..id_base + v as u32).collect(), e)
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = group(0, 2, 10);
+        a.merge(group(100, 3, 5));
+        assert_eq!(a.vertex_count, 5);
+        assert_eq!(a.edge_count, 15);
+        assert_eq!(a.vertices.len(), 5);
+    }
+
+    #[test]
+    fn balanced_thresholds() {
+        let g = group(0, 10, 100);
+        assert!(g.balanced(10.0, 0.0));
+        assert!(g.balanced(11.0, 0.1));
+        assert!(!g.balanced(12.0, 0.1));
+        assert!(g.edge_balanced(95.0, 0.06));
+        assert!(!g.edge_balanced(80.0, 0.1));
+    }
+
+    #[test]
+    fn zero_target_needs_zero_value() {
+        let empty = Group::new(vec![], 0);
+        assert!(empty.balanced(0.0, 0.1));
+        let nonempty = group(0, 1, 0);
+        assert!(!nonempty.balanced(0.0, 0.1));
+    }
+
+    #[test]
+    fn combine_pairs_lightest_with_heaviest() {
+        // vertex counts 1, 2, 3, 4 with inversely proportional edges
+        let groups = vec![
+            group(0, 1, 40),
+            group(10, 2, 30),
+            group(20, 3, 20),
+            group(30, 4, 10),
+        ];
+        let combined = combine_round(groups);
+        assert_eq!(combined.len(), 2);
+        let mut tallies: Vec<(u64, u64)> = combined
+            .iter()
+            .map(|g| (g.vertex_count, g.edge_count))
+            .collect();
+        tallies.sort();
+        assert_eq!(tallies, vec![(5, 50), (5, 50)]);
+    }
+
+    #[test]
+    fn combination_is_deterministic_under_permutation() {
+        let a = vec![
+            group(0, 1, 4),
+            group(10, 2, 3),
+            group(20, 3, 2),
+            group(30, 4, 1),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        let ca = combine_round(a);
+        let cb = combine_round(b);
+        let key = |gs: &[Group]| -> Vec<Vec<VertexId>> {
+            let mut v: Vec<Vec<VertexId>> = gs
+                .iter()
+                .map(|g| {
+                    let mut m = g.vertices.clone();
+                    m.sort_unstable();
+                    m
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&ca), key(&cb));
+    }
+
+    #[test]
+    fn two_rounds_reach_quarter_count() {
+        let groups: Vec<Group> = (0..8)
+            .map(|i| group(i * 10, (i + 1) as u64, (8 - i) as u64))
+            .collect();
+        let after = combine_round(combine_round(groups));
+        assert_eq!(after.len(), 2);
+        let total_v: u64 = after.iter().map(|g| g.vertex_count).sum();
+        assert_eq!(total_v, (1..=8).sum::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "even group count")]
+    fn odd_count_panics() {
+        combine_round(vec![group(0, 1, 1)]);
+    }
+}

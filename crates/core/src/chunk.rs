@@ -1,0 +1,161 @@
+//! Chunking partitioners: Chunk-V and Chunk-E (§2.2, Fig. 2a/2b).
+//!
+//! Both walk the vertex stream in id order and cut it into `k` contiguous
+//! ranges. Chunk-V balances the number of vertices per range (Gemini,
+//! GridGraph); Chunk-E balances the sum of out-degrees per range
+//! (KnightKing, GraphChi). Contiguity is the point: it preserves crawl
+//! locality, which keeps edge cuts lower than hashing but concentrates hub
+//! mass, producing the one-dimensional imbalance the paper measures.
+
+use crate::partition::{PartId, Partition};
+use crate::partitioner::Partitioner;
+use bpart_graph::{CsrGraph, VertexId};
+
+/// Contiguous chunking with balanced vertex counts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChunkV;
+
+impl Partitioner for ChunkV {
+    fn partition(&self, graph: &CsrGraph, num_parts: usize) -> Partition {
+        assert!(num_parts > 0, "need at least one part");
+        let n = graph.num_vertices();
+        let mut assignment = vec![0 as PartId; n];
+        // Part p owns ids [p*n/k, (p+1)*n/k) — the standard balanced split
+        // that distributes the remainder one vertex at a time.
+        for p in 0..num_parts {
+            let lo = p * n / num_parts;
+            let hi = (p + 1) * n / num_parts;
+            for a in &mut assignment[lo..hi] {
+                *a = p as PartId;
+            }
+        }
+        Partition::from_assignment(graph, num_parts, assignment)
+    }
+
+    fn name(&self) -> &'static str {
+        "Chunk-V"
+    }
+}
+
+/// Contiguous chunking with balanced out-degree sums.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChunkE;
+
+impl Partitioner for ChunkE {
+    fn partition(&self, graph: &CsrGraph, num_parts: usize) -> Partition {
+        assert!(num_parts > 0, "need at least one part");
+        let n = graph.num_vertices();
+        let m = graph.num_edges() as u64;
+        let mut assignment = vec![0 as PartId; n];
+        // Greedy scan: close the current chunk once its degree sum reaches
+        // the remaining-average target, recomputing the target per chunk so
+        // later chunks absorb rounding drift instead of the last one.
+        let mut part = 0 as PartId;
+        let mut used_edges = 0u64;
+        let mut chunk_edges = 0u64;
+        for v in 0..n as VertexId {
+            let remaining_parts = (num_parts - part as usize) as u64;
+            // Target for the *current* chunk: the mass not yet claimed by
+            // closed chunks, split over the chunks still open (including
+            // this one).
+            let target = (m - (used_edges - chunk_edges)).div_ceil(remaining_parts.max(1));
+            assignment[v as usize] = part;
+            let d = graph.out_degree(v) as u64;
+            chunk_edges += d;
+            used_edges += d;
+            let vertices_left = n as u64 - v as u64 - 1;
+            // Keep at least one vertex per unopened chunk when possible.
+            if chunk_edges >= target
+                && (part as usize) < num_parts - 1
+                && vertices_left >= remaining_parts - 1
+            {
+                part += 1;
+                chunk_edges = 0;
+            }
+        }
+        Partition::from_assignment(graph, num_parts, assignment)
+    }
+
+    fn name(&self) -> &'static str {
+        "Chunk-E"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use bpart_graph::generate;
+
+    #[test]
+    fn chunk_v_ranges_are_contiguous_and_balanced() {
+        let g = generate::ring(10);
+        let p = ChunkV.partition(&g, 3);
+        assert_eq!(p.vertex_counts(), &[3, 3, 4]);
+        // contiguity
+        let a = p.assignment();
+        for w in a.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn chunk_v_handles_k_greater_than_n() {
+        let g = generate::ring(3);
+        let p = ChunkV.partition(&g, 5);
+        p.validate(&g).unwrap();
+        assert_eq!(p.vertex_counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn chunk_e_balances_edges_on_uniform_graph() {
+        let g = generate::ring(12); // every degree = 1
+        let p = ChunkE.partition(&g, 4);
+        assert_eq!(p.edge_counts(), &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn chunk_e_on_skewed_graph_has_imbalanced_vertices() {
+        let g = generate::twitter_like().generate_scaled(0.05);
+        let p = ChunkE.partition(&g, 8);
+        p.validate(&g).unwrap();
+        let edge_bias = metrics::bias(p.edge_counts());
+        let vertex_bias = metrics::bias(p.vertex_counts());
+        assert!(edge_bias < 0.3, "edge bias {edge_bias} should be small");
+        assert!(
+            vertex_bias > 0.8,
+            "vertex bias {vertex_bias} should be large on a power-law graph"
+        );
+    }
+
+    #[test]
+    fn chunk_v_on_skewed_graph_has_imbalanced_edges() {
+        let g = generate::twitter_like().generate_scaled(0.05);
+        let p = ChunkV.partition(&g, 8);
+        let vertex_bias = metrics::bias(p.vertex_counts());
+        let edge_bias = metrics::bias(p.edge_counts());
+        assert!(vertex_bias < 0.01, "vertex bias {vertex_bias}");
+        assert!(
+            edge_bias > 1.0,
+            "edge bias {edge_bias} should be large on a power-law graph"
+        );
+    }
+
+    #[test]
+    fn chunk_e_every_part_nonempty_when_possible() {
+        let g = generate::star(15); // hub 0 carries most degree
+        let p = ChunkE.partition(&g, 4);
+        p.validate(&g).unwrap();
+        assert!(
+            p.vertex_counts().iter().all(|&c| c > 0),
+            "{:?}",
+            p.vertex_counts()
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ChunkV.name(), "Chunk-V");
+        assert_eq!(ChunkE.name(), "Chunk-E");
+    }
+}

@@ -1,0 +1,61 @@
+//! The [`Partitioner`] trait all schemes implement.
+
+use crate::partition::Partition;
+use bpart_graph::CsrGraph;
+
+/// A graph partitioning scheme: splits a graph's vertex set into `k`
+/// disjoint parts.
+pub trait Partitioner {
+    /// Partitions `graph` into `num_parts` parts.
+    ///
+    /// Implementations must return a [`Partition`] covering every vertex
+    /// with part ids `< num_parts`; empty parts are permitted (they model a
+    /// machine that received no work).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `num_parts == 0`.
+    fn partition(&self, graph: &CsrGraph, num_parts: usize) -> Partition;
+
+    /// Short human-readable scheme name used in harness tables
+    /// ("Chunk-V", "BPart", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Blanket impl so `&T` and boxed partitioners can be passed around freely
+/// (the harness iterates over `Vec<Box<dyn Partitioner>>`).
+impl<T: Partitioner + ?Sized> Partitioner for &T {
+    fn partition(&self, graph: &CsrGraph, num_parts: usize) -> Partition {
+        (**self).partition(graph, num_parts)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: Partitioner + ?Sized> Partitioner for Box<T> {
+    fn partition(&self, graph: &CsrGraph, num_parts: usize) -> Partition {
+        (**self).partition(graph, num_parts)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkV;
+    use bpart_graph::generate;
+
+    #[test]
+    fn trait_objects_and_references_work() {
+        let g = generate::ring(8);
+        let boxed: Box<dyn Partitioner> = Box::new(ChunkV);
+        let p = boxed.partition(&g, 2);
+        assert_eq!(p.num_parts(), 2);
+        assert_eq!(boxed.name(), "Chunk-V");
+        let by_ref = &ChunkV;
+        assert_eq!(by_ref.partition(&g, 2), p);
+    }
+}

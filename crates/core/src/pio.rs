@@ -1,0 +1,197 @@
+//! Partition serialization.
+//!
+//! Text format (`.parts`): one part id per line, line number = vertex id,
+//! `#` comments allowed — the format METIS-family tools exchange, so
+//! partitions produced here drop into other toolchains.
+//!
+//! Binary format: `BPPT` magic, version, `k`, `n`, then `n` little-endian
+//! `u32` part ids.
+
+use crate::partition::{PartId, Partition};
+use bpart_graph::{CsrGraph, GraphError};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+const MAGIC: [u8; 4] = *b"BPPT";
+const VERSION: u32 = 1;
+
+/// Writes the assignment as text, one part id per line.
+pub fn write_text<W: Write>(partition: &Partition, writer: W) -> Result<(), GraphError> {
+    let mut bw = BufWriter::new(writer);
+    writeln!(
+        bw,
+        "# bpart partition: {} vertices, {} parts",
+        partition.num_vertices(),
+        partition.num_parts()
+    )?;
+    for &p in partition.assignment() {
+        writeln!(bw, "{p}")?;
+    }
+    bw.flush()?;
+    Ok(())
+}
+
+/// Reads a text assignment and re-tallies it against `graph`.
+pub fn read_text<R: Read>(graph: &CsrGraph, reader: R) -> Result<Partition, GraphError> {
+    let mut br = BufReader::new(reader);
+    let mut assignment: Vec<PartId> = Vec::with_capacity(graph.num_vertices());
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if br.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let p: PartId = trimmed
+            .parse()
+            .map_err(|_| GraphError::Format(format!("line {lineno}: bad part id {trimmed:?}")))?;
+        assignment.push(p);
+    }
+    finish(graph, assignment)
+}
+
+/// Writes the assignment in the binary format.
+pub fn write_binary<W: Write>(partition: &Partition, writer: W) -> Result<(), GraphError> {
+    let mut bw = BufWriter::new(writer);
+    bw.write_all(&MAGIC)?;
+    bw.write_all(&VERSION.to_le_bytes())?;
+    bw.write_all(&(partition.num_parts() as u32).to_le_bytes())?;
+    bw.write_all(&(partition.num_vertices() as u64).to_le_bytes())?;
+    for &p in partition.assignment() {
+        bw.write_all(&p.to_le_bytes())?;
+    }
+    bw.flush()?;
+    Ok(())
+}
+
+/// Reads a binary assignment and re-tallies it against `graph`.
+pub fn read_binary<R: Read>(graph: &CsrGraph, reader: R) -> Result<Partition, GraphError> {
+    let mut br = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    br.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(GraphError::Format(format!("bad partition magic {magic:?}")));
+    }
+    let mut b4 = [0u8; 4];
+    br.read_exact(&mut b4)?;
+    let version = u32::from_le_bytes(b4);
+    if version != VERSION {
+        return Err(GraphError::Format(format!(
+            "unsupported partition version {version}"
+        )));
+    }
+    br.read_exact(&mut b4)?;
+    let k = u32::from_le_bytes(b4) as usize;
+    let mut b8 = [0u8; 8];
+    br.read_exact(&mut b8)?;
+    let n = u64::from_le_bytes(b8) as usize;
+    if n != graph.num_vertices() {
+        return Err(GraphError::Format(format!(
+            "partition covers {n} vertices, graph has {}",
+            graph.num_vertices()
+        )));
+    }
+    let mut assignment = Vec::with_capacity(n);
+    for _ in 0..n {
+        br.read_exact(&mut b4)?;
+        let p = u32::from_le_bytes(b4);
+        if p as usize >= k {
+            return Err(GraphError::Format(format!(
+                "part id {p} out of range (k = {k})"
+            )));
+        }
+        assignment.push(p);
+    }
+    Ok(Partition::from_assignment(graph, k, assignment))
+}
+
+/// Shared text-path epilogue: validate the length and infer `k`.
+fn finish(graph: &CsrGraph, assignment: Vec<PartId>) -> Result<Partition, GraphError> {
+    if assignment.len() != graph.num_vertices() {
+        return Err(GraphError::Format(format!(
+            "partition covers {} vertices, graph has {}",
+            assignment.len(),
+            graph.num_vertices()
+        )));
+    }
+    let k = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(1, |m| m as usize + 1);
+    Ok(Partition::from_assignment(graph, k, assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpart::BPart;
+    use crate::partitioner::Partitioner;
+    use bpart_graph::generate;
+
+    fn sample() -> (CsrGraph, Partition) {
+        let g = generate::erdos_renyi(200, 1_200, 3);
+        let p = BPart::default().partition(&g, 4);
+        (g, p)
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let (g, p) = sample();
+        let mut buf = Vec::new();
+        write_text(&p, &mut buf).unwrap();
+        let q = read_text(&g, buf.as_slice()).unwrap();
+        assert_eq!(p.assignment(), q.assignment());
+        assert_eq!(p.num_parts(), q.num_parts());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let (g, p) = sample();
+        let mut buf = Vec::new();
+        write_binary(&p, &mut buf).unwrap();
+        let q = read_binary(&g, buf.as_slice()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn binary_preserves_trailing_empty_parts() {
+        // k is stored explicitly, so empty high parts survive; the text
+        // format infers k from the max id and cannot.
+        let g = generate::ring(4);
+        let p = Partition::from_assignment(&g, 6, vec![0, 1, 0, 1]);
+        let mut buf = Vec::new();
+        write_binary(&p, &mut buf).unwrap();
+        assert_eq!(read_binary(&g, buf.as_slice()).unwrap().num_parts(), 6);
+        let mut tbuf = Vec::new();
+        write_text(&p, &mut tbuf).unwrap();
+        assert_eq!(read_text(&g, tbuf.as_slice()).unwrap().num_parts(), 2);
+    }
+
+    #[test]
+    fn text_rejects_garbage_and_wrong_length() {
+        let g = generate::ring(3);
+        assert!(read_text(&g, "0\nx\n0\n".as_bytes()).is_err());
+        assert!(read_text(&g, "0\n1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_wrong_graph_and_corruption() {
+        let (g, p) = sample();
+        let mut buf = Vec::new();
+        write_binary(&p, &mut buf).unwrap();
+        let other = generate::ring(10);
+        assert!(read_binary(&other, buf.as_slice()).is_err());
+        let mut corrupt = buf.clone();
+        corrupt[0] = b'X';
+        assert!(read_binary(&g, corrupt.as_slice()).is_err());
+        let len = buf.len();
+        let mut bad_part = buf.clone();
+        bad_part[len - 4..].copy_from_slice(&999u32.to_le_bytes());
+        assert!(read_binary(&g, bad_part.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Vertex stream orders for the streaming partitioners.
+//!
+//! Fennel-family partitioners consume vertices one at a time; the order
+//! matters for quality. Real deployments stream in crawl order (= natural id
+//! order here, since the generators place hubs at low ids); the ablation
+//! benches also exercise random and BFS orders, the two alternatives studied
+//! in the streaming-partitioning literature.
+
+use bpart_graph::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+
+/// Order in which a streaming partitioner visits the vertices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamOrder {
+    /// Ascending vertex id (crawl order for the synthetic datasets).
+    Natural,
+    /// Seeded uniform shuffle.
+    Random(u64),
+    /// Breadth-first from vertex 0 (unreached vertices appended in id
+    /// order) — maximizes the number of already-placed neighbors per step.
+    Bfs,
+    /// Descending out-degree (hubs first), ties by id.
+    DegreeDescending,
+}
+
+impl StreamOrder {
+    /// Materializes the visit order for all vertices of `graph`.
+    pub fn order(&self, graph: &CsrGraph) -> Vec<VertexId> {
+        let all: Vec<VertexId> = graph.vertices().collect();
+        self.order_subset(graph, &all)
+    }
+
+    /// Materializes the visit order restricted to `subset` (used by BPart's
+    /// later layers, which re-stream only the unbalanced remainder).
+    pub fn order_subset(&self, graph: &CsrGraph, subset: &[VertexId]) -> Vec<VertexId> {
+        match self {
+            StreamOrder::Natural => {
+                let mut v = subset.to_vec();
+                v.sort_unstable();
+                v
+            }
+            StreamOrder::Random(seed) => {
+                let mut v = subset.to_vec();
+                v.sort_unstable();
+                let mut rng = StdRng::seed_from_u64(*seed);
+                // Fisher-Yates
+                for i in (1..v.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    v.swap(i, j);
+                }
+                v
+            }
+            StreamOrder::Bfs => bfs_order(graph, subset),
+            StreamOrder::DegreeDescending => {
+                let mut v = subset.to_vec();
+                v.sort_unstable_by_key(|&x| (usize::MAX - graph.out_degree(x), x));
+                v
+            }
+        }
+    }
+}
+
+/// BFS over the undirected view restricted to `subset`; vertices of the
+/// subset not reached from earlier seeds start new BFS trees in id order.
+fn bfs_order(graph: &CsrGraph, subset: &[VertexId]) -> Vec<VertexId> {
+    let mut in_subset = vec![false; graph.num_vertices()];
+    for &v in subset {
+        in_subset[v as usize] = true;
+    }
+    let mut sorted = subset.to_vec();
+    sorted.sort_unstable();
+
+    let mut visited = vec![false; graph.num_vertices()];
+    let mut order = Vec::with_capacity(subset.len());
+    let mut queue = VecDeque::new();
+    for &seed in &sorted {
+        if visited[seed as usize] {
+            continue;
+        }
+        visited[seed as usize] = true;
+        queue.push_back(seed);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &w in graph.out_neighbors(u).iter().chain(graph.in_neighbors(u)) {
+                if in_subset[w as usize] && !visited[w as usize] {
+                    visited[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpart_graph::generate;
+
+    #[test]
+    fn natural_order_is_sorted() {
+        let g = generate::ring(5);
+        assert_eq!(StreamOrder::Natural.order(&g), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_order_is_a_seeded_permutation() {
+        let g = generate::ring(64);
+        let a = StreamOrder::Random(1).order(&g);
+        let b = StreamOrder::Random(1).order(&g);
+        let c = StreamOrder::Random(2).order(&g);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, StreamOrder::Natural.order(&g));
+    }
+
+    #[test]
+    fn bfs_order_visits_neighbors_before_far_vertices() {
+        let g = generate::path(6); // 0->1->...->5
+        assert_eq!(StreamOrder::Bfs.order(&g), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bfs_covers_disconnected_subsets() {
+        let g = bpart_graph::CsrGraph::from_edges(6, &[(0, 1), (3, 4)]);
+        let order = StreamOrder::Bfs.order(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn degree_descending_puts_hub_first() {
+        let g = generate::star(5);
+        let order = StreamOrder::DegreeDescending.order(&g);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn subset_orders_stay_within_subset() {
+        let g = generate::complete(6);
+        for order in [
+            StreamOrder::Natural,
+            StreamOrder::Random(3),
+            StreamOrder::Bfs,
+            StreamOrder::DegreeDescending,
+        ] {
+            let got = order.order_subset(&g, &[5, 1, 3]);
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![1, 3, 5], "order {order:?}");
+        }
+    }
+}

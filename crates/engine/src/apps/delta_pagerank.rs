@@ -1,0 +1,196 @@
+//! Delta (forward-push) PageRank: runs to a residual tolerance instead of
+//! a fixed iteration count, only propagating *changes*.
+//!
+//! Each vertex holds `(rank, residual)`. A vertex is active while its
+//! residual exceeds the tolerance; when active it pushes
+//! `d · residual / outdeg` to its out-neighbors and flushes
+//! `(1 − d) · residual` into its rank. At convergence
+//! `rank + (1 − d)·residual ≈ PageRank(v)` (without dangling
+//! redistribution — dangling residual retires into the vertex's own rank).
+//!
+//! Unlike the synchronous [`PageRank`](crate::apps::PageRank) (which
+//! touches every edge every iteration), work here shrinks with the
+//! frontier — the sparse-mode behaviour Gemini switches to as PageRank
+//! converges, and a second, differently-shaped engine workload for the
+//! load-balance experiments.
+
+use crate::program::{ProgramContext, VertexProgram};
+use bpart_graph::{CsrGraph, VertexId};
+
+/// Per-vertex state: accumulated rank plus unpushed residual mass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankState {
+    /// Settled PageRank mass.
+    pub rank: f64,
+    /// Mass not yet pushed to neighbors.
+    pub residual: f64,
+}
+
+/// Convergence-driven PageRank vertex program.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaPageRank {
+    /// Damping factor `d` (classic 0.85).
+    pub damping: f64,
+    /// Residual threshold below which a vertex goes quiet.
+    pub tolerance: f64,
+    /// Safety cap on supersteps.
+    pub max_iterations: usize,
+}
+
+impl DeltaPageRank {
+    /// Delta PageRank with damping 0.85 and the given tolerance.
+    pub fn new(tolerance: f64) -> Self {
+        DeltaPageRank {
+            damping: 0.85,
+            tolerance,
+            max_iterations: 10_000,
+        }
+    }
+
+    /// Final PageRank estimate for a finished state.
+    pub fn estimate(&self, state: &RankState) -> f64 {
+        state.rank + (1.0 - self.damping) * state.residual
+    }
+}
+
+impl VertexProgram for DeltaPageRank {
+    type Value = RankState;
+    type Accum = f64;
+
+    fn init(&self, _v: VertexId, graph: &CsrGraph) -> RankState {
+        RankState {
+            rank: 0.0,
+            residual: 1.0 / graph.num_vertices() as f64,
+        }
+    }
+
+    fn initially_active(&self, _v: VertexId, _graph: &CsrGraph) -> bool {
+        true
+    }
+
+    fn scatter(&self, u: VertexId, value: &RankState, graph: &CsrGraph) -> Option<f64> {
+        let deg = graph.out_degree(u);
+        (deg > 0).then(|| self.damping * value.residual / deg as f64)
+    }
+
+    fn combine(&self, a: &mut f64, b: f64) {
+        *a += b;
+    }
+
+    fn apply(
+        &self,
+        _v: VertexId,
+        value: &mut RankState,
+        incoming: Option<f64>,
+        _ctx: &ProgramContext,
+        _graph: &CsrGraph,
+    ) -> bool {
+        // A vertex that was active this superstep has already pushed its
+        // residual (scatter reads the pre-apply state), so flush it.
+        if value.residual > self.tolerance {
+            value.rank += (1.0 - self.damping) * value.residual;
+            value.residual = 0.0;
+        }
+        value.residual += incoming.unwrap_or(0.0);
+        value.residual > self.tolerance
+    }
+
+    fn apply_to_all(&self) -> bool {
+        true
+    }
+
+    fn max_iterations(&self) -> Option<usize> {
+        Some(self.max_iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::reference_pagerank;
+    use crate::engine::IterationEngine;
+    use bpart_core::{BPart, ChunkV, HashPartitioner, Partitioner};
+    use bpart_graph::{generate, GraphBuilder};
+    use std::sync::Arc;
+
+    /// Symmetrized power-law graph: no dangling vertices, so the reference
+    /// (which redistributes dangling mass) and delta PR agree.
+    fn dangling_free_graph() -> Arc<bpart_graph::CsrGraph> {
+        let base = generate::twitter_like().generate_scaled(0.005);
+        Arc::new(
+            GraphBuilder::new(base.num_vertices())
+                .edges(base.edges())
+                .symmetric()
+                .build(),
+        )
+    }
+
+    #[test]
+    fn converges_to_reference_pagerank() {
+        let graph = dangling_free_graph();
+        let app = DeltaPageRank::new(1e-9);
+        let partition = Arc::new(HashPartitioner::default().partition(&graph, 4));
+        let run = IterationEngine::default_for(graph.clone(), partition).run(&app);
+        let expected = reference_pagerank(&graph, 0.85, 200);
+        for (v, state) in run.values.iter().enumerate() {
+            let got = app.estimate(state);
+            assert!(
+                (got - expected[v]).abs() < 1e-6,
+                "vertex {v}: {got} vs {}",
+                expected[v]
+            );
+        }
+    }
+
+    #[test]
+    fn total_mass_is_conserved() {
+        let graph = dangling_free_graph();
+        let app = DeltaPageRank::new(1e-8);
+        let partition = Arc::new(ChunkV.partition(&graph, 4));
+        let run = IterationEngine::default_for(graph.clone(), partition).run(&app);
+        let total: f64 = run.values.iter().map(|s| app.estimate(s)).sum();
+        assert!((total - 1.0).abs() < 1e-4, "total {total}");
+    }
+
+    #[test]
+    fn partition_invariant() {
+        let graph = dangling_free_graph();
+        let app = DeltaPageRank::new(1e-7);
+        let a = IterationEngine::default_for(graph.clone(), Arc::new(ChunkV.partition(&graph, 4)))
+            .run(&app);
+        let b = IterationEngine::default_for(
+            graph.clone(),
+            Arc::new(BPart::default().partition(&graph, 4)),
+        )
+        .run(&app);
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert!((app.estimate(x) - app.estimate(y)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn work_shrinks_as_the_frontier_converges() {
+        let graph = dangling_free_graph();
+        let app = DeltaPageRank::new(1e-6);
+        let partition = Arc::new(ChunkV.partition(&graph, 4));
+        let run = IterationEngine::default_for(graph.clone(), partition).run(&app);
+        let records = run.telemetry.records();
+        assert!(records.len() >= 4, "needs a few supersteps");
+        let early: f64 = records[0].compute.iter().sum();
+        let late: f64 = records[records.len() - 2].compute.iter().sum();
+        assert!(
+            late < early * 0.5,
+            "frontier should shrink: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn looser_tolerance_finishes_sooner() {
+        let graph = dangling_free_graph();
+        let partition = Arc::new(ChunkV.partition(&graph, 4));
+        let engine = IterationEngine::default_for(graph.clone(), partition);
+        let loose = engine.run(&DeltaPageRank::new(1e-4)).iterations;
+        let tight = engine.run(&DeltaPageRank::new(1e-8)).iterations;
+        assert!(loose < tight, "loose {loose} vs tight {tight}");
+    }
+}

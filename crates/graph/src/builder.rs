@@ -1,0 +1,143 @@
+//! Fluent graph construction helper.
+//!
+//! [`GraphBuilder`] wraps [`EdgeList`] with a builder-style
+//! API and one-shot normalization flags, so call sites can express their
+//! whole construction pipeline in a single chain:
+//!
+//! ```
+//! use bpart_graph::GraphBuilder;
+//!
+//! let g = GraphBuilder::new(4)
+//!     .edge(0, 1)
+//!     .edge(1, 2)
+//!     .edge(2, 2) // self loop, dropped below
+//!     .edge(1, 2) // duplicate, dropped below
+//!     .drop_self_loops()
+//!     .dedup()
+//!     .symmetric()
+//!     .build();
+//! assert_eq!(g.num_edges(), 4); // 0<->1, 1<->2
+//! ```
+
+use crate::{CsrGraph, Edge, EdgeList, VertexId};
+
+/// Builder for [`CsrGraph`] with optional normalization passes.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: EdgeList,
+    drop_self_loops: bool,
+    dedup: bool,
+    symmetric: bool,
+}
+
+impl GraphBuilder {
+    /// Starts a builder over `num_vertices` vertices (the universe still
+    /// grows automatically if a larger id is pushed).
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            edges: EdgeList::new(num_vertices),
+            ..Default::default()
+        }
+    }
+
+    /// Starts a builder with edge capacity pre-reserved.
+    pub fn with_capacity(num_vertices: usize, cap: usize) -> Self {
+        GraphBuilder {
+            edges: EdgeList::with_capacity(num_vertices, cap),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a directed edge.
+    #[must_use]
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.edges.push(u, v);
+        self
+    }
+
+    /// Adds every edge from the iterator.
+    #[must_use]
+    pub fn edges<I: IntoIterator<Item = Edge>>(mut self, iter: I) -> Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Remove self-loops at build time.
+    #[must_use]
+    pub fn drop_self_loops(mut self) -> Self {
+        self.drop_self_loops = true;
+        self
+    }
+
+    /// Deduplicate directed edges at build time.
+    #[must_use]
+    pub fn dedup(mut self) -> Self {
+        self.dedup = true;
+        self
+    }
+
+    /// Symmetrize (store each edge in both directions) at build time.
+    /// Implies deduplication.
+    #[must_use]
+    pub fn symmetric(mut self) -> Self {
+        self.symmetric = true;
+        self
+    }
+
+    /// Runs the selected normalization passes and freezes to CSR.
+    pub fn build(mut self) -> CsrGraph {
+        if self.drop_self_loops {
+            self.edges.remove_self_loops();
+        }
+        if self.symmetric {
+            self.edges.symmetrize();
+        } else if self.dedup {
+            self.edges.dedup();
+        }
+        self.edges.into_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_build_keeps_everything() {
+        let g = GraphBuilder::new(3)
+            .edge(0, 0)
+            .edge(0, 1)
+            .edge(0, 1)
+            .build();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn normalization_passes_compose() {
+        let g = GraphBuilder::new(3)
+            .edges([(0, 0), (0, 1), (0, 1), (1, 2)])
+            .drop_self_loops()
+            .dedup()
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn symmetric_implies_dedup() {
+        let g = GraphBuilder::new(2)
+            .edges([(0, 1), (1, 0), (0, 1)])
+            .symmetric()
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn with_capacity_builds_same_graph() {
+        let a = GraphBuilder::new(3).edge(1, 2).build();
+        let b = GraphBuilder::with_capacity(3, 16).edge(1, 2).build();
+        assert_eq!(a, b);
+    }
+}

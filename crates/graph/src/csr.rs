@@ -1,0 +1,293 @@
+//! Compressed-sparse-row graph representation.
+//!
+//! [`CsrGraph`] is the immutable, cache-friendly representation every other
+//! crate operates on. It stores the out-adjacency in CSR form and, because
+//! the partition-quality metrics and the Fennel/BPart scoring functions need
+//! *undirected* neighborhoods, it also materializes the in-adjacency.
+//!
+//! Adjacency lists are sorted ascending, which gives deterministic iteration
+//! order and lets node2vec test `is_out_neighbor` with a binary search.
+
+use crate::{Edge, VertexId};
+
+/// An immutable directed graph in compressed-sparse-row form.
+///
+/// Out-edges of vertex `v` occupy `targets[offsets[v] .. offsets[v + 1]]`;
+/// the in-adjacency (`in_offsets` / `in_targets`) is the transpose built at
+/// construction time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    in_offsets: Vec<u64>,
+    in_targets: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `num_vertices` vertices from a list of directed
+    /// edges. Edges may arrive in any order; they are counting-sorted by
+    /// source, and each adjacency list is sorted ascending. Duplicate edges
+    /// are preserved (generators deduplicate before reaching here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn from_edges(num_vertices: usize, edges: &[Edge]) -> Self {
+        let (offsets, targets) = Self::csr_of(num_vertices, edges.iter().map(|&(u, v)| (u, v)));
+        let (in_offsets, in_targets) =
+            Self::csr_of(num_vertices, edges.iter().map(|&(u, v)| (v, u)));
+        CsrGraph {
+            offsets,
+            targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+
+    /// Counting-sort pass shared by the forward and transposed adjacency.
+    fn csr_of(
+        num_vertices: usize,
+        edges: impl Iterator<Item = Edge> + Clone,
+    ) -> (Vec<u64>, Vec<VertexId>) {
+        let mut degree = vec![0u64; num_vertices];
+        let mut num_edges = 0usize;
+        for (u, v) in edges.clone() {
+            assert!(
+                (u as usize) < num_vertices && (v as usize) < num_vertices,
+                "edge ({u}, {v}) out of range for {num_vertices} vertices"
+            );
+            degree[u as usize] += 1;
+            num_edges += 1;
+        }
+        let mut offsets = vec![0u64; num_vertices + 1];
+        for v in 0..num_vertices {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets[..num_vertices].to_vec();
+        let mut targets = vec![0 as VertexId; num_edges];
+        for (u, v) in edges {
+            let c = &mut cursor[u as usize];
+            targets[*c as usize] = v;
+            *c += 1;
+        }
+        // Sort each adjacency list for determinism and binary-searchability.
+        for v in 0..num_vertices {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[lo..hi].sort_unstable();
+        }
+        (offsets, targets)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Average out-degree `m / n`; zero on an empty graph.
+    #[inline]
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        (self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]) as usize
+    }
+
+    /// Out-neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (lo, hi) = (
+            self.offsets[v as usize] as usize,
+            self.offsets[v as usize + 1] as usize,
+        );
+        &self.targets[lo..hi]
+    }
+
+    /// In-neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (lo, hi) = (
+            self.in_offsets[v as usize] as usize,
+            self.in_offsets[v as usize + 1] as usize,
+        );
+        &self.in_targets[lo..hi]
+    }
+
+    /// True iff the directed edge `(u, v)` exists (binary search).
+    #[inline]
+    pub fn is_out_neighbor(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over all directed edges in `(source, sorted-target)` order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Raw offset array (length `n + 1`), for zero-copy serialization.
+    #[inline]
+    pub fn raw_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Raw target array (length `m`), for zero-copy serialization.
+    #[inline]
+    pub fn raw_targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Maximum out-degree over all vertices (zero on an empty graph).
+    pub fn max_out_degree(&self) -> usize {
+        self.vertices()
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns the transpose as a new graph (out becomes in and vice versa).
+    ///
+    /// Cheap: both directions are already materialized, so this just swaps
+    /// the internal arrays.
+    pub fn transpose(&self) -> CsrGraph {
+        CsrGraph {
+            offsets: self.in_offsets.clone(),
+            targets: self.in_targets.clone(),
+            in_offsets: self.offsets.clone(),
+            in_targets: self.targets.clone(),
+        }
+    }
+
+    /// Sum of out-degrees over an arbitrary set of vertices.
+    ///
+    /// This is the `|E_i|` used throughout the paper: each vertex owns its
+    /// out-edges, so a vertex set's edge mass is its out-degree sum.
+    pub fn degree_sum<I: IntoIterator<Item = VertexId>>(&self, vertices: I) -> u64 {
+        vertices
+            .into_iter()
+            .map(|v| self.out_degree(v) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.average_degree(), 1.0);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_regardless_of_insert_order() {
+        let g = CsrGraph::from_edges(4, &[(0, 3), (0, 1), (0, 2)]);
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.max_out_degree(), 2);
+    }
+
+    #[test]
+    fn in_neighbors_are_the_transpose() {
+        let g = diamond();
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(1), &[0]);
+        assert!(g.in_neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn is_out_neighbor_binary_search() {
+        let g = diamond();
+        assert!(g.is_out_neighbor(0, 1));
+        assert!(g.is_out_neighbor(0, 2));
+        assert!(!g.is_out_neighbor(0, 3));
+        assert!(!g.is_out_neighbor(3, 0));
+    }
+
+    #[test]
+    fn edges_iterator_yields_all_edges_sorted_by_source() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn transpose_swaps_directions() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.out_neighbors(3), &[1, 2]);
+        assert_eq!(t.in_neighbors(1), &[3]);
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn degree_sum_counts_out_edges() {
+        let g = diamond();
+        assert_eq!(g.degree_sum([0, 1]), 3);
+        assert_eq!(g.degree_sum(g.vertices()), 4);
+        assert_eq!(g.degree_sum([3]), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_out_degree(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_preserved() {
+        let g = CsrGraph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Each arriving vertex attaches `k` out-edges to existing vertices chosen
+//! proportional to their current (in + out) degree, using the standard
+//! trick of sampling uniformly from the flat endpoint list. Early vertices
+//! become hubs, again matching the low-id hub locality of real crawls.
+
+use crate::{CsrGraph, Edge, VertexId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a Barabási–Albert graph: `n` vertices, each newcomer attaching
+/// `k` edges preferentially. The first `k + 1` vertices form a seed clique.
+/// The output is directed newcomer→target; symmetrize with
+/// [`GraphBuilder`](crate::GraphBuilder) if an undirected view is needed.
+///
+/// # Panics
+///
+/// Panics if `n <= k` or `k == 0`.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> CsrGraph {
+    assert!(k > 0, "attachment count must be positive");
+    assert!(n > k, "need more vertices than the attachment count");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let seed_size = k + 1;
+    let mut edges: Vec<Edge> = Vec::with_capacity(seed_size * k + (n - seed_size) * k);
+    // Flat list where each vertex appears once per incident edge; sampling a
+    // uniform element is sampling proportional to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * k);
+
+    // Seed clique.
+    for u in 0..seed_size as VertexId {
+        for v in 0..seed_size as VertexId {
+            if u < v {
+                edges.push((u, v));
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+    }
+
+    let mut targets: Vec<VertexId> = Vec::with_capacity(k);
+    for u in seed_size as VertexId..n as VertexId {
+        targets.clear();
+        // Rejection loop: distinct targets, no self-loop.
+        while targets.len() < k {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((u, t));
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_formula() {
+        let (n, k) = (500, 4);
+        let g = barabasi_albert(n, k, 3);
+        let seed_edges = (k + 1) * k / 2;
+        assert_eq!(g.num_edges(), seed_edges + (n - k - 1) * k);
+        assert_eq!(g.num_vertices(), n);
+    }
+
+    #[test]
+    fn early_vertices_are_hubs() {
+        let g = barabasi_albert(2_000, 3, 9);
+        let early: usize = (0..20u32).map(|v| g.out_degree(v) + g.in_degree(v)).sum();
+        let late: usize = (1980..2000u32)
+            .map(|v| g.out_degree(v) + g.in_degree(v))
+            .sum();
+        assert!(early > late * 3, "early={early} late={late}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(300, 2, 5), barabasi_albert(300, 2, 5));
+        assert_ne!(barabasi_albert(300, 2, 5), barabasi_albert(300, 2, 6));
+    }
+
+    #[test]
+    fn newcomers_have_exactly_k_out_edges() {
+        let (n, k) = (100, 3);
+        let g = barabasi_albert(n, k, 1);
+        for v in (k as u32 + 1)..n as u32 {
+            assert_eq!(g.out_degree(v), k, "vertex {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn tiny_n_panics() {
+        barabasi_albert(3, 3, 0);
+    }
+}

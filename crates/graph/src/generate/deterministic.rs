@@ -1,0 +1,114 @@
+//! Tiny deterministic graph shapes used throughout the unit tests.
+
+use crate::{CsrGraph, Edge, VertexId};
+
+/// Directed ring: `0 -> 1 -> ... -> n-1 -> 0`.
+pub fn ring(n: usize) -> CsrGraph {
+    assert!(n >= 2, "ring needs at least two vertices");
+    let edges: Vec<Edge> = (0..n as VertexId)
+        .map(|v| (v, (v + 1) % n as VertexId))
+        .collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Directed path: `0 -> 1 -> ... -> n-1`.
+pub fn path(n: usize) -> CsrGraph {
+    assert!(n >= 1, "path needs at least one vertex");
+    let edges: Vec<Edge> = (0..n.saturating_sub(1) as VertexId)
+        .map(|v| (v, v + 1))
+        .collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Star with hub 0: bidirectional edges `0 <-> i` for every spoke `i`.
+pub fn star(spokes: usize) -> CsrGraph {
+    let n = spokes + 1;
+    let mut edges = Vec::with_capacity(2 * spokes);
+    for i in 1..n as VertexId {
+        edges.push((0, i));
+        edges.push((i, 0));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Complete directed graph on `n` vertices (no self loops).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1));
+    for u in 0..n as VertexId {
+        for v in 0..n as VertexId {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Bidirectional 4-neighbor grid of `rows x cols` vertices; vertex ids are
+/// row-major.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+                edges.push((id(r, c + 1), id(r, c)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+                edges.push((id(r + 1, c), id(r, c)));
+            }
+        }
+    }
+    CsrGraph::from_edges(rows * cols, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_neighbors(4), &[0]);
+        assert_eq!(g.in_degree(0), 1);
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(3), 0);
+        let g1 = path(1);
+        assert_eq!(g1.num_edges(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.out_degree(0), 6);
+        assert_eq!(g.in_degree(0), 6);
+        assert_eq!(g.out_degree(3), 1);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.out_degree(2), 3);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(2, 3);
+        assert_eq!(g.num_vertices(), 6);
+        // internal horizontal edges: 2 rows * 2 = 4; vertical: 3; each bidirectional
+        assert_eq!(g.num_edges(), 2 * (4 + 3));
+        // corner (0,0) has 2 neighbors
+        assert_eq!(g.out_degree(0), 2);
+    }
+}

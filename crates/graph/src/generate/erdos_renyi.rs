@@ -1,0 +1,83 @@
+//! Uniform `G(n, m)` random graphs.
+
+use super::{normalize, sample_exactly};
+use crate::{CsrGraph, Edge, VertexId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a directed Erdős–Rényi graph with exactly `m` unique loop-free
+/// edges drawn uniformly from all `n * (n - 1)` possibilities.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the simple-graph capacity.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n > 0 || m == 0, "cannot place edges in an empty graph");
+    if n > 1 {
+        assert!(
+            (m as u128) <= (n as u128) * (n as u128 - 1),
+            "edge count {m} exceeds simple-graph capacity"
+        );
+    }
+    if m == 0 {
+        return CsrGraph::from_edges(n, &[]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool: Vec<Edge> = Vec::with_capacity(m + m / 8);
+    let mut rounds = 0;
+    while pool.len() < m {
+        let deficit = m - pool.len();
+        let batch = deficit + deficit / 7 + 8;
+        for _ in 0..batch {
+            let u = rng.random_range(0..n) as VertexId;
+            let v = rng.random_range(0..n) as VertexId;
+            pool.push((u, v));
+        }
+        normalize(&mut pool);
+        rounds += 1;
+        assert!(rounds < 64, "erdos-renyi failed to reach {m} unique edges");
+    }
+    sample_exactly(&mut pool, m, seed);
+    CsrGraph::from_edges(n, &pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count_and_determinism() {
+        let g = erdos_renyi(200, 1_500, 7);
+        assert_eq!(g.num_vertices(), 200);
+        assert_eq!(g.num_edges(), 1_500);
+        assert_eq!(g, erdos_renyi(200, 1_500, 7));
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let g = erdos_renyi(1_000, 20_000, 13);
+        let low = g.degree_sum(0..500u32) as f64;
+        let high = g.degree_sum(500..1000u32) as f64;
+        assert!((low / high - 1.0).abs() < 0.1, "low={low} high={high}");
+    }
+
+    #[test]
+    fn dense_request_fills_capacity() {
+        let g = erdos_renyi(10, 90, 3);
+        assert_eq!(g.num_edges(), 90);
+    }
+
+    #[test]
+    fn no_loops() {
+        let g = erdos_renyi(50, 500, 21);
+        for u in g.vertices() {
+            assert!(!g.out_neighbors(u).contains(&u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn capacity_check() {
+        erdos_renyi(4, 13, 1);
+    }
+}

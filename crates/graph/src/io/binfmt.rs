@@ -1,0 +1,161 @@
+//! Binary CSR format.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   [u8; 4]   = b"BPGR"
+//! version u32       = 1
+//! n       u64       vertex count
+//! m       u64       edge count
+//! offsets [u64; n+1]
+//! targets [u32; m]
+//! ```
+//!
+//! The in-adjacency is rebuilt on load rather than stored — it is fully
+//! derivable and the rebuild is a linear counting sort.
+
+use crate::{CsrGraph, Edge, GraphError, VertexId};
+use std::io::{BufReader, BufWriter, Read, Write};
+
+const MAGIC: [u8; 4] = *b"BPGR";
+const VERSION: u32 = 1;
+
+/// Serializes a graph to the binary CSR format.
+pub fn write_binary<W: Write>(graph: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut bw = BufWriter::new(writer);
+    bw.write_all(&MAGIC)?;
+    bw.write_all(&VERSION.to_le_bytes())?;
+    bw.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    bw.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    for &o in graph.raw_offsets() {
+        bw.write_all(&o.to_le_bytes())?;
+    }
+    for &t in graph.raw_targets() {
+        bw.write_all(&t.to_le_bytes())?;
+    }
+    bw.flush()?;
+    Ok(())
+}
+
+/// Deserializes a graph from the binary CSR format, validating the header
+/// and the offset invariants.
+pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
+    let mut br = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    br.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(GraphError::Format(format!("bad magic {magic:?}")));
+    }
+    let version = read_u32(&mut br)?;
+    if version != VERSION {
+        return Err(GraphError::Format(format!("unsupported version {version}")));
+    }
+    let n = read_u64(&mut br)? as usize;
+    let m = read_u64(&mut br)? as usize;
+
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut br)?);
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&(m as u64)) {
+        return Err(GraphError::Format("offset array endpoints invalid".into()));
+    }
+    for w in offsets.windows(2) {
+        if w[0] > w[1] {
+            return Err(GraphError::Format("offsets not monotone".into()));
+        }
+    }
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m);
+    for _ in 0..m {
+        let t = read_u32(&mut br)?;
+        if t as usize >= n {
+            return Err(GraphError::Format(format!(
+                "target {t} out of range (n = {n})"
+            )));
+        }
+        targets.push(t);
+    }
+    // Rebuild through the public constructor so the in-adjacency and the
+    // per-list sort invariants are re-established.
+    let mut edges: Vec<Edge> = Vec::with_capacity(m);
+    for v in 0..n {
+        for &t in &targets[offsets[v] as usize..offsets[v + 1] as usize] {
+            edges.push((v as VertexId, t));
+        }
+    }
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, GraphError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn round_trip_random_graph() {
+        let g = generate::erdos_renyi(300, 2_000, 17);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trip_empty_graph() {
+        let g = CsrGraph::from_edges(5, &[]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_binary(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"BPGR");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // offsets[0]
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let g = generate::ring(10);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        let g = generate::ring(4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Corrupt the last target to an out-of-range id.
+        let len = buf.len();
+        buf[len - 4..].copy_from_slice(&100u32.to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Graph serialization: text edge lists and a compact binary format.
+//!
+//! * [`text`] — whitespace-separated `src dst` lines with `#` comments, the
+//!   format SNAP/KONECT dumps use, so real datasets drop in unchanged.
+//! * [`binfmt`] — fixed-header little-endian CSR dump for fast reloads.
+
+pub mod binfmt;
+pub mod text;
+
+pub use binfmt::{read_binary, write_binary};
+pub use text::{read_edge_list, write_edge_list};

@@ -1,0 +1,270 @@
+//! Degree statistics.
+//!
+//! The paper's whole premise rests on scale-free degree distributions
+//! (§3.1), so the harness reports the skew of every generated dataset via
+//! these helpers: degree histogram, Gini coefficient of the degree mass,
+//! and the Clauset-style maximum-likelihood power-law exponent.
+
+use crate::CsrGraph;
+use rayon::prelude::*;
+
+/// Summary of a graph's out-degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Average out-degree.
+    pub average: f64,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Share of edge mass owned by the top 1% of vertices by degree.
+    pub top1pct_mass: f64,
+    /// Gini coefficient of the out-degree distribution (0 = uniform).
+    pub gini: f64,
+    /// MLE power-law exponent fitted on degrees `>= x_min` (None when the
+    /// graph is too small or degenerate to fit).
+    pub powerlaw_alpha: Option<f64>,
+}
+
+/// Computes [`DegreeStats`] for a graph.
+pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
+    let n = graph.num_vertices();
+    let mut degrees: Vec<usize> = (0..n)
+        .into_par_iter()
+        .map(|v| graph.out_degree(v as u32))
+        .collect();
+    degrees.par_sort_unstable();
+    let edges = graph.num_edges();
+    let max = degrees.last().copied().unwrap_or(0);
+    let top = (n / 100).max(1).min(n.max(1));
+    let top1pct_mass = if edges == 0 {
+        0.0
+    } else {
+        degrees.iter().rev().take(top).sum::<usize>() as f64 / edges as f64
+    };
+    DegreeStats {
+        vertices: n,
+        edges,
+        average: graph.average_degree(),
+        max,
+        top1pct_mass,
+        gini: gini(&degrees),
+        powerlaw_alpha: powerlaw_alpha(&degrees),
+    }
+}
+
+/// Gini coefficient of a sorted (ascending) non-negative sample.
+/// Returns 0 for empty or all-zero samples.
+fn gini(sorted: &[usize]) -> f64 {
+    let n = sorted.len();
+    let total: f64 = sorted.iter().map(|&d| d as f64).sum();
+    if n == 0 || total == 0.0 {
+        return 0.0;
+    }
+    // G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, with 1-based i over
+    // ascending order.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// Continuous MLE power-law exponent `alpha = 1 + k / sum(ln(d / x_min))`
+/// over degrees `>= x_min` with `x_min` fixed at the degree median
+/// (cheap, adequate for reporting skew).
+fn powerlaw_alpha(sorted: &[usize]) -> Option<f64> {
+    let positive: Vec<usize> = sorted.iter().copied().filter(|&d| d > 0).collect();
+    if positive.len() < 16 {
+        return None;
+    }
+    let x_min = positive[positive.len() / 2].max(1) as f64;
+    let tail: Vec<f64> = positive
+        .iter()
+        .filter(|&&d| d as f64 >= x_min)
+        .map(|&d| d as f64)
+        .collect();
+    if tail.len() < 8 {
+        return None;
+    }
+    let log_sum: f64 = tail.iter().map(|&d| (d / x_min).ln()).sum();
+    if log_sum <= 0.0 {
+        return None;
+    }
+    Some(1.0 + tail.len() as f64 / log_sum)
+}
+
+/// Sampled local clustering coefficient over the undirected view.
+///
+/// For `samples` seeded random vertices with at least two (undirected)
+/// neighbors, tests `trials` random neighbor pairs for adjacency and
+/// returns the closed-triangle fraction. Community-structured graphs (and
+/// low-rewire Watts-Strogatz) score high; Chung-Lu and Erdős–Rényi score
+/// near `d̄/n`.
+pub fn approx_clustering_coefficient(
+    graph: &CsrGraph,
+    samples: usize,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let adjacent = |a: crate::VertexId, b: crate::VertexId| {
+        graph.is_out_neighbor(a, b) || graph.is_out_neighbor(b, a)
+    };
+    let mut closed = 0u64;
+    let mut tested = 0u64;
+    let mut nbrs: Vec<crate::VertexId> = Vec::new();
+    for _ in 0..samples {
+        let v = rng.random_range(0..n) as crate::VertexId;
+        nbrs.clear();
+        nbrs.extend_from_slice(graph.out_neighbors(v));
+        nbrs.extend_from_slice(graph.in_neighbors(v));
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        if nbrs.len() < 2 {
+            continue;
+        }
+        for _ in 0..trials {
+            let a = nbrs[rng.random_range(0..nbrs.len())];
+            let b = nbrs[rng.random_range(0..nbrs.len())];
+            if a == b {
+                continue;
+            }
+            tested += 1;
+            if adjacent(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    if tested == 0 {
+        0.0
+    } else {
+        closed as f64 / tested as f64
+    }
+}
+
+/// Degree histogram with logarithmic (powers-of-two) buckets:
+/// `buckets[i]` counts vertices with out-degree in `[2^i, 2^(i+1))`;
+/// the zero-degree count is returned separately.
+pub fn log_degree_histogram(graph: &CsrGraph) -> (usize, Vec<usize>) {
+    let mut zero = 0usize;
+    let mut buckets: Vec<usize> = Vec::new();
+    for v in graph.vertices() {
+        let d = graph.out_degree(v);
+        if d == 0 {
+            zero += 1;
+            continue;
+        }
+        let b = (usize::BITS - 1 - d.leading_zeros()) as usize;
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    (zero, buckets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn uniform_graph_has_low_gini() {
+        let g = generate::ring(100);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 1);
+        assert!(s.gini.abs() < 1e-9);
+        assert_eq!(s.average, 1.0);
+    }
+
+    #[test]
+    fn star_is_maximally_skewed() {
+        let g = generate::star(99);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 99);
+        assert!(s.gini > 0.45, "gini = {}", s.gini);
+        assert!(s.top1pct_mass > 0.49);
+    }
+
+    #[test]
+    fn powerlaw_alpha_detects_skew() {
+        let p = generate::twitter_like();
+        let g = p.generate_scaled(0.05);
+        let s = degree_stats(&g);
+        let alpha = s.powerlaw_alpha.expect("should fit");
+        assert!(alpha > 1.2 && alpha < 4.5, "alpha = {alpha}");
+        assert!(s.top1pct_mass > 0.05, "top1pct = {}", s.top1pct_mass);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_n() {
+        let g = generate::twitter_like().generate_scaled(0.02);
+        let (zero, buckets) = log_degree_histogram(&g);
+        assert_eq!(zero + buckets.iter().sum::<usize>(), g.num_vertices());
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::CsrGraph::from_edges(0, &[]);
+        let s = degree_stats(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.gini, 0.0);
+        assert!(s.powerlaw_alpha.is_none());
+    }
+
+    #[test]
+    fn clustering_coefficient_extremes() {
+        // Complete graph: every neighbor pair is adjacent.
+        let c = approx_clustering_coefficient(&generate::complete(12), 50, 20, 1);
+        assert!((c - 1.0).abs() < 1e-9, "complete c = {c}");
+        // Ring: neighbors of a vertex are never adjacent to each other.
+        let c = approx_clustering_coefficient(&generate::grid(1, 50), 50, 20, 1);
+        assert!(c < 0.05, "path c = {c}");
+        // Empty graph is defined as zero.
+        assert_eq!(
+            approx_clustering_coefficient(&CsrGraph::from_edges(0, &[]), 10, 10, 1),
+            0.0
+        );
+    }
+
+    #[test]
+    fn community_structure_raises_clustering() {
+        let with = generate::twitter_like().generate_scaled(0.05);
+        let mut plain = bpart_graph_test_preset();
+        plain.locality = 0.0;
+        plain.community = 0.0;
+        let without = plain.generate_scaled(0.05);
+        let c_with = approx_clustering_coefficient(&with, 400, 30, 7);
+        let c_without = approx_clustering_coefficient(&without, 400, 30, 7);
+        assert!(
+            c_with > c_without * 2.0,
+            "community graphs should cluster more: {c_with} vs {c_without}"
+        );
+    }
+
+    fn bpart_graph_test_preset() -> generate::DatasetPreset {
+        generate::twitter_like()
+    }
+
+    #[test]
+    fn gini_of_two_level_sample() {
+        // Half zeros, half ones → known Gini of 0.5.
+        let sample: Vec<usize> = [vec![0usize; 50], vec![1usize; 50]].concat();
+        assert!(
+            (gini(&sample) - 0.5).abs() < 0.02,
+            "gini = {}",
+            gini(&sample)
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Boundary FM-style local search.
+//!
+//! Each pass scans the current boundary vertices in id order and greedily
+//! moves a vertex to the neighboring part with the highest positive cut
+//! gain, provided the target part stays under the vertex-weight cap. Moves
+//! are applied immediately (label-propagation-style FM, as in Mt-KaHIP's
+//! parallel local search); passes repeat until no move improves the cut or
+//! the pass budget is exhausted.
+
+use crate::wgraph::WeightedGraph;
+use bpart_core::PartId;
+use std::collections::HashMap;
+
+/// Refines `labels` in place; returns the total cut-weight improvement.
+pub fn fm_refine(
+    graph: &WeightedGraph,
+    labels: &mut [PartId],
+    num_parts: usize,
+    max_part_weight: u64,
+    passes: usize,
+) -> u64 {
+    let n = graph.num_vertices();
+    assert_eq!(labels.len(), n);
+    let mut part_weight = vec![0u64; num_parts];
+    for v in 0..n {
+        part_weight[labels[v] as usize] += graph.vertex_weight(v);
+    }
+
+    let mut total_gain = 0u64;
+    let mut affinity: HashMap<PartId, u64> = HashMap::new();
+    for _ in 0..passes {
+        let mut pass_gain = 0u64;
+        for v in 0..n {
+            let own = labels[v];
+            affinity.clear();
+            let mut is_boundary = false;
+            for (t, w) in graph.neighbors(v) {
+                let l = labels[t as usize];
+                if l != own {
+                    is_boundary = true;
+                }
+                *affinity.entry(l).or_insert(0) += w;
+            }
+            if !is_boundary {
+                continue;
+            }
+            let internal = affinity.get(&own).copied().unwrap_or(0);
+            let vw = graph.vertex_weight(v);
+            // Best strictly-positive-gain move that respects the cap.
+            let mut best: Option<(u64, PartId)> = None;
+            for (&l, &w) in &affinity {
+                if l == own || w <= internal {
+                    continue;
+                }
+                if part_weight[l as usize] + vw > max_part_weight {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bw, bl)) => w > bw || (w == bw && l < bl),
+                };
+                if better {
+                    best = Some((w, l));
+                }
+            }
+            if let Some((w, target)) = best {
+                part_weight[own as usize] -= vw;
+                part_weight[target as usize] += vw;
+                labels[v] = target;
+                pass_gain += w - internal;
+            }
+        }
+        total_gain += pass_gain;
+        if pass_gain == 0 {
+            break;
+        }
+    }
+    total_gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpart_graph::{generate, CsrGraph};
+
+    #[test]
+    fn repairs_an_obviously_bad_split() {
+        // Two 4-cliques bridged by one edge, labelled orthogonally to the
+        // cliques: refinement should restore the clique split.
+        let mut edges = Vec::new();
+        for base in [0u32, 4u32] {
+            for a in 0..4 {
+                for b in 0..4 {
+                    if a != b {
+                        edges.push((base + a, base + b));
+                    }
+                }
+            }
+        }
+        edges.push((0, 4));
+        let g = CsrGraph::from_edges(8, &edges);
+        let w = WeightedGraph::from_csr(&g);
+        let mut labels = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let before = w.cut_weight(&labels);
+        let gain = fm_refine(&w, &mut labels, 2, 5, 8);
+        let after = w.cut_weight(&labels);
+        assert_eq!(before - after, gain);
+        assert!(after <= 2, "cut after refine = {after}");
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[4], labels[5]);
+    }
+
+    #[test]
+    fn never_worsens_the_cut() {
+        let g = generate::twitter_like().generate_scaled(0.01);
+        let w = WeightedGraph::from_csr(&g);
+        let n = w.num_vertices();
+        let mut labels: Vec<PartId> = (0..n).map(|v| (v % 4) as PartId).collect();
+        let before = w.cut_weight(&labels);
+        let cap = (w.total_vertex_weight() as f64 * 1.1 / 4.0) as u64;
+        fm_refine(&w, &mut labels, 4, cap, 3);
+        let after = w.cut_weight(&labels);
+        assert!(after <= before, "{after} > {before}");
+    }
+
+    #[test]
+    fn respects_weight_cap() {
+        let g = generate::twitter_like().generate_scaled(0.01);
+        let w = WeightedGraph::from_csr(&g);
+        let n = w.num_vertices();
+        let mut labels: Vec<PartId> = (0..n).map(|v| (v % 4) as PartId).collect();
+        let cap = (w.total_vertex_weight() as f64 * 1.05 / 4.0).ceil() as u64;
+        fm_refine(&w, &mut labels, 4, cap, 3);
+        let mut weights = [0u64; 4];
+        for (v, &l) in labels.iter().enumerate() {
+            weights[l as usize] += w.vertex_weight(v);
+        }
+        for &pw in &weights {
+            assert!(pw <= cap, "{pw} > {cap}");
+        }
+    }
+
+    #[test]
+    fn balanced_optimum_is_a_fixed_point() {
+        let g = generate::grid(1, 8); // path
+        let w = WeightedGraph::from_csr(&g);
+        let mut labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let gain = fm_refine(&w, &mut labels, 2, 4, 4);
+        assert_eq!(gain, 0);
+        assert_eq!(labels, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Weighted undirected graph used internally by the multilevel stages.
+//!
+//! Vertices carry weights (number of original vertices they represent) and
+//! edges carry weights (number of original edges collapsed into them). The
+//! input [`CsrGraph`] is symmetrized on entry: an
+//! original edge in either direction contributes weight 1 to the undirected
+//! edge, so cut weights on any level equal original (undirected) cut sizes.
+
+use bpart_graph::CsrGraph;
+use std::collections::HashMap;
+
+/// Weighted undirected graph in CSR form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedGraph {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+    edge_weights: Vec<u64>,
+    vertex_weights: Vec<u64>,
+}
+
+impl WeightedGraph {
+    /// Builds the level-0 weighted graph from a directed CSR graph.
+    pub fn from_csr(graph: &CsrGraph) -> Self {
+        let n = graph.num_vertices();
+        // Merge out- and in-adjacency into undirected weighted lists.
+        let mut adjacency: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        for (u, v) in graph.edges() {
+            if u == v {
+                continue;
+            }
+            *adjacency[u as usize].entry(v).or_insert(0) += 1;
+            *adjacency[v as usize].entry(u).or_insert(0) += 1;
+        }
+        Self::from_adjacency(adjacency, vec![1u64; n])
+    }
+
+    /// Builds from per-vertex adjacency maps plus vertex weights.
+    fn from_adjacency(adjacency: Vec<HashMap<u32, u64>>, vertex_weights: Vec<u64>) -> Self {
+        let n = adjacency.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let total: usize = adjacency.iter().map(|a| a.len()).sum();
+        let mut targets = Vec::with_capacity(total);
+        let mut edge_weights = Vec::with_capacity(total);
+        for adj in adjacency {
+            let mut entries: Vec<(u32, u64)> = adj.into_iter().collect();
+            entries.sort_unstable();
+            for (t, w) in entries {
+                targets.push(t);
+                edge_weights.push(w);
+            }
+            offsets.push(targets.len() as u64);
+        }
+        WeightedGraph {
+            offsets,
+            targets,
+            edge_weights,
+            vertex_weights,
+        }
+    }
+
+    /// Number of vertices at this level.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_weights.len()
+    }
+
+    /// Weight of vertex `v` (original vertices represented).
+    #[inline]
+    pub fn vertex_weight(&self, v: usize) -> u64 {
+        self.vertex_weights[v]
+    }
+
+    /// Sum of all vertex weights (original vertex count).
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.vertex_weights.iter().sum()
+    }
+
+    /// Weighted neighbors `(target, edge_weight)` of `v`, sorted by target.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let (lo, hi) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.edge_weights[lo..hi].iter().copied())
+    }
+
+    /// Contracts `clusters` (a vertex → cluster-id map with arbitrary ids)
+    /// into a coarser graph. Returns the coarse graph and the dense map
+    /// from fine vertex to coarse vertex.
+    pub fn contract(&self, clusters: &[u32]) -> (WeightedGraph, Vec<u32>) {
+        assert_eq!(clusters.len(), self.num_vertices());
+        // Densify cluster ids in first-appearance order (deterministic).
+        let mut dense: HashMap<u32, u32> = HashMap::new();
+        let mut map = vec![0u32; clusters.len()];
+        for (v, &c) in clusters.iter().enumerate() {
+            let next = dense.len() as u32;
+            let id = *dense.entry(c).or_insert(next);
+            map[v] = id;
+        }
+        let coarse_n = dense.len();
+
+        let mut vertex_weights = vec![0u64; coarse_n];
+        for (v, &c) in map.iter().enumerate() {
+            vertex_weights[c as usize] += self.vertex_weights[v];
+        }
+        let mut adjacency: Vec<HashMap<u32, u64>> = vec![HashMap::new(); coarse_n];
+        for v in 0..self.num_vertices() {
+            let cv = map[v];
+            for (t, w) in self.neighbors(v) {
+                let ct = map[t as usize];
+                if cv != ct {
+                    *adjacency[cv as usize].entry(ct).or_insert(0) += w;
+                }
+            }
+        }
+        (
+            WeightedGraph::from_adjacency(adjacency, vertex_weights),
+            map,
+        )
+    }
+
+    /// Total weight of edges with endpoints in different parts, counting
+    /// each undirected edge once.
+    pub fn cut_weight(&self, labels: &[u32]) -> u64 {
+        let mut cut = 0u64;
+        for v in 0..self.num_vertices() {
+            for (t, w) in self.neighbors(v) {
+                if (t as usize) > v && labels[v] != labels[t as usize] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpart_graph::generate;
+
+    #[test]
+    fn symmetrization_merges_both_directions() {
+        // 0->1 and 1->0 collapse into one undirected edge of weight 2.
+        let g = CsrGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        let w = WeightedGraph::from_csr(&g);
+        let nbrs: Vec<_> = w.neighbors(0).collect();
+        assert_eq!(nbrs, vec![(1, 2)]);
+        assert_eq!(w.total_vertex_weight(), 2);
+    }
+
+    #[test]
+    fn contraction_accumulates_weights() {
+        // path 0-1-2-3 (bidirected); contract {0,1} and {2,3}
+        let g = generate::grid(1, 4);
+        let w = WeightedGraph::from_csr(&g);
+        let (coarse, map) = w.contract(&[7, 7, 9, 9]);
+        assert_eq!(coarse.num_vertices(), 2);
+        assert_eq!(map, vec![0, 0, 1, 1]);
+        assert_eq!(coarse.vertex_weight(0), 2);
+        // single coarse edge: the 1-2 link, weight 2 (both directions)
+        let nbrs: Vec<_> = coarse.neighbors(0).collect();
+        assert_eq!(nbrs, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn contraction_drops_internal_edges() {
+        let g = generate::complete(4);
+        let w = WeightedGraph::from_csr(&g);
+        let (coarse, _) = w.contract(&[0, 0, 0, 0]);
+        assert_eq!(coarse.num_vertices(), 1);
+        assert_eq!(coarse.neighbors(0).count(), 0);
+        assert_eq!(coarse.vertex_weight(0), 4);
+    }
+
+    #[test]
+    fn cut_weight_counts_undirected_edges_once() {
+        let g = generate::grid(1, 4); // 0-1-2-3
+        let w = WeightedGraph::from_csr(&g);
+        assert_eq!(w.cut_weight(&[0, 0, 1, 1]), 2); // edge 1-2 has weight 2
+        assert_eq!(w.cut_weight(&[0, 0, 0, 0]), 0);
+        assert_eq!(w.cut_weight(&[0, 1, 0, 1]), 6);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        let w = WeightedGraph::from_csr(&g);
+        assert_eq!(w.neighbors(0).count(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Metropolis–Hastings random walk with a *uniform* stationary
+//! distribution.
+//!
+//! A plain random walk's stationary distribution is proportional to vertex
+//! degree, which biases samples toward hubs. The Metropolis–Hastings
+//! correction accepts a proposed move `v → x` with probability
+//! `min(1, d(v)/d(x))`, staying put otherwise — the resulting chain's
+//! stationary distribution is uniform over the (strongly connected) graph,
+//! which is what unbiased vertex-sampling applications need. A common
+//! KnightKing-style dynamic walk workload.
+
+use crate::walker::{uniform_neighbor, WalkApp, Walker};
+use bpart_graph::{CsrGraph, VertexId};
+
+/// Metropolis–Hastings uniform-sampling walk.
+#[derive(Clone, Copy, Debug)]
+pub struct MetropolisHastings {
+    steps: u32,
+}
+
+impl MetropolisHastings {
+    /// MH walk of `steps` steps.
+    pub fn new(steps: u32) -> Self {
+        MetropolisHastings { steps }
+    }
+}
+
+impl WalkApp for MetropolisHastings {
+    fn walk_length(&self) -> u32 {
+        self.steps
+    }
+
+    fn next(&self, walker: &mut Walker, graph: &CsrGraph) -> Option<VertexId> {
+        let current = walker.current;
+        let proposal = uniform_neighbor(walker, graph, current)?;
+        let d_cur = graph.out_degree(current) as f64;
+        let d_prop = graph.out_degree(proposal) as f64;
+        // Dead-end proposals are never accepted (no return path), keeping
+        // the chain on the strongly connected core.
+        if d_prop == 0.0 {
+            return Some(current);
+        }
+        let accept = (d_cur / d_prop).min(1.0);
+        if walker.rng.next_bool(accept) {
+            Some(proposal)
+        } else {
+            Some(current) // rejected: burn a step in place
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MetropolisHastings"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpart_graph::generate;
+
+    /// Empirical occupancy of long MH walks vs plain walks on a graph with
+    /// a strong hub: MH should flatten the hub bias.
+    #[test]
+    fn stationary_distribution_is_flatter_than_plain_walks() {
+        // Lollipop-ish: a 6-clique attached to a 12-ring (bidirected).
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        for i in 0..12u32 {
+            let u = 5 + i; // 5..17 ring through the clique vertex 5
+            let v = 5 + (i + 1) % 12;
+            edges.push((u, v));
+            edges.push((v, u));
+        }
+        let g = bpart_graph::CsrGraph::from_edges(17, &edges);
+
+        let occupancy = |mh: bool| -> Vec<f64> {
+            let mut counts = [0u64; 17];
+            let steps = 40_000u32;
+            let mut w = Walker::new(0, 0, 1234);
+            let mh_app = MetropolisHastings::new(steps);
+            let plain = crate::apps::SimpleRandomWalk::new(steps);
+            for _ in 0..steps {
+                let next = if mh {
+                    mh_app.next(&mut w, &g)
+                } else {
+                    crate::walker::WalkApp::next(&plain, &mut w, &g)
+                }
+                .unwrap();
+                w.advance(next);
+                counts[next as usize] += 1;
+            }
+            counts.iter().map(|&c| c as f64 / steps as f64).collect()
+        };
+
+        let plain = occupancy(false);
+        let mh = occupancy(true);
+        // Clique vertices (degree 5-7) are over-visited by plain walks;
+        // MH should pull their share down toward 1/17.
+        let clique_plain: f64 = plain[..5].iter().sum();
+        let clique_mh: f64 = mh[..5].iter().sum();
+        assert!(
+            clique_mh < clique_plain * 0.75,
+            "MH should flatten hub occupancy: {clique_mh:.3} vs {clique_plain:.3}"
+        );
+        let uniform_share = 5.0 / 17.0;
+        assert!(
+            (clique_mh - uniform_share).abs() < 0.1,
+            "MH clique share {clique_mh:.3} should approach uniform {uniform_share:.3}"
+        );
+    }
+
+    #[test]
+    fn moves_downhill_in_degree_are_always_accepted() {
+        // Star: hub degree 8, spokes degree 1. Hub -> spoke has
+        // d(hub)/d(spoke) = 8 >= 1, so every proposal from the hub is
+        // accepted; spoke -> hub is accepted only with probability 1/8,
+        // so most spoke steps stay in place.
+        let g = generate::star(8);
+        let app = MetropolisHastings::new(10);
+        let mut w = Walker::new(0, 0, 7);
+        let next = app.next(&mut w, &g).unwrap();
+        assert_ne!(next, 0, "hub proposals are always accepted");
+
+        let mut stays = 0;
+        for id in 0..100 {
+            let mut w = Walker::new(id, 1, 7);
+            if app.next(&mut w, &g) == Some(1) {
+                stays += 1;
+            }
+        }
+        assert!(
+            (75..100).contains(&stays),
+            "spoke should mostly stay put: {stays}"
+        );
+    }
+
+    #[test]
+    fn dead_end_terminates() {
+        let g = generate::path(2);
+        let app = MetropolisHastings::new(5);
+        let mut w = Walker::new(0, 1, 3);
+        assert_eq!(app.next(&mut w, &g), None);
+    }
+}

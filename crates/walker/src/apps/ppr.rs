@@ -1,0 +1,94 @@
+//! Personalized PageRank walks: terminate with fixed probability each step
+//! (the paper uses 0.1), otherwise move to a uniform out-neighbor. The
+//! endpoint distribution of many such walks estimates PPR scores of the
+//! source vertex.
+
+use crate::walker::{uniform_neighbor, WalkApp, Walker};
+use bpart_graph::{CsrGraph, VertexId};
+
+/// PPR decision walk.
+#[derive(Clone, Copy, Debug)]
+pub struct Ppr {
+    stop_probability: f64,
+    max_steps: u32,
+}
+
+impl Ppr {
+    /// PPR with the given per-step stop probability and a hard step cap.
+    pub fn new(stop_probability: f64, max_steps: u32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&stop_probability),
+            "stop probability must be in [0, 1]"
+        );
+        Ppr {
+            stop_probability,
+            max_steps,
+        }
+    }
+}
+
+impl WalkApp for Ppr {
+    fn walk_length(&self) -> u32 {
+        self.max_steps
+    }
+
+    fn next(&self, walker: &mut Walker, graph: &CsrGraph) -> Option<VertexId> {
+        if walker.rng.next_bool(self.stop_probability) {
+            return None;
+        }
+        uniform_neighbor(walker, graph, walker.current)
+    }
+
+    fn name(&self) -> &'static str {
+        "PPR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpart_graph::generate;
+
+    #[test]
+    fn stop_probability_one_never_moves() {
+        let g = generate::complete(5);
+        let app = Ppr::new(1.0, 10);
+        let mut w = Walker::new(0, 0, 1);
+        assert_eq!(app.next(&mut w, &g), None);
+    }
+
+    #[test]
+    fn stop_probability_zero_always_moves() {
+        let g = generate::complete(5);
+        let app = Ppr::new(0.0, 10);
+        let mut w = Walker::new(0, 0, 1);
+        for _ in 0..10 {
+            assert!(app.next(&mut w, &g).is_some());
+        }
+    }
+
+    #[test]
+    fn average_walk_length_tracks_stop_probability() {
+        // Expected steps before stop with p=0.1 is ~9 (geometric); verify
+        // the empirical mean over many walkers is in that ballpark.
+        let g = generate::complete(20);
+        let app = Ppr::new(0.1, 1000);
+        let mut total = 0u64;
+        let walkers = 2_000;
+        for id in 0..walkers {
+            let mut w = Walker::new(id, 0, 77);
+            while let Some(v) = app.next(&mut w, &g) {
+                w.advance(v);
+            }
+            total += w.step as u64;
+        }
+        let mean = total as f64 / walkers as f64;
+        assert!((mean - 9.0).abs() < 1.0, "mean = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stop probability")]
+    fn invalid_probability_panics() {
+        Ppr::new(1.5, 10);
+    }
+}

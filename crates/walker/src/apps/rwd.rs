@@ -1,0 +1,96 @@
+//! Random walk with domination (Li et al., ICDE '14): walks estimating
+//! random-walk domination sets. Following the restart formulation, each
+//! step the walker returns to its *source* vertex with probability
+//! `p_return` and otherwise moves to a uniform out-neighbor; the set of
+//! vertices visited within the step budget "dominates" the source's
+//! neighborhood.
+
+use crate::walker::{uniform_neighbor, WalkApp, Walker};
+use bpart_graph::{CsrGraph, VertexId};
+
+/// RWD decision walk (restart-to-source variant).
+#[derive(Clone, Copy, Debug)]
+pub struct Rwd {
+    return_probability: f64,
+    steps: u32,
+}
+
+impl Rwd {
+    /// RWD with the given return probability and fixed walk length.
+    pub fn new(return_probability: f64, steps: u32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&return_probability),
+            "return probability must be in [0, 1]"
+        );
+        Rwd {
+            return_probability,
+            steps,
+        }
+    }
+}
+
+impl WalkApp for Rwd {
+    fn walk_length(&self) -> u32 {
+        self.steps
+    }
+
+    fn next(&self, walker: &mut Walker, graph: &CsrGraph) -> Option<VertexId> {
+        if walker.rng.next_bool(self.return_probability) {
+            return Some(walker.source);
+        }
+        match uniform_neighbor(walker, graph, walker.current) {
+            Some(v) => Some(v),
+            // Dead end: restart at the source (domination walks never
+            // abandon their source's neighborhood early).
+            None => Some(walker.source),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "RWD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpart_graph::generate;
+
+    #[test]
+    fn return_probability_one_pins_to_source() {
+        let g = generate::complete(6);
+        let app = Rwd::new(1.0, 8);
+        let mut w = Walker::new(0, 3, 1);
+        for _ in 0..8 {
+            assert_eq!(app.next(&mut w, &g), Some(3));
+        }
+    }
+
+    #[test]
+    fn dead_end_restarts_at_source() {
+        let g = generate::path(3);
+        let app = Rwd::new(0.0, 5);
+        let mut w = Walker::new(0, 0, 2);
+        w.advance(1);
+        w.advance(2); // sink
+        assert_eq!(app.next(&mut w, &g), Some(0));
+    }
+
+    #[test]
+    fn return_rate_matches_probability() {
+        let g = generate::complete(50);
+        let app = Rwd::new(0.2, 1);
+        let mut returns = 0;
+        let trials = 10_000;
+        for id in 0..trials {
+            let mut w = Walker::new(id, 7, 6);
+            w.advance(20); // move away from source first
+            if app.next(&mut w, &g) == Some(7) {
+                returns += 1;
+            }
+        }
+        let rate = returns as f64 / trials as f64;
+        // uniform moves hit the source occasionally (1/49)
+        assert!((rate - 0.2 - 0.8 / 49.0).abs() < 0.02, "rate = {rate}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Random walk with jump: with probability `p_jump` (the paper uses 0.2)
+//! teleport to a uniformly random vertex of the whole graph, otherwise
+//! move to a uniform out-neighbor. Jumps also rescue dead-end walkers,
+//! which is the standard RWJ formulation for heterogeneous-graph
+//! embeddings.
+
+use crate::walker::{uniform_neighbor, WalkApp, Walker};
+use bpart_graph::{CsrGraph, VertexId};
+
+/// RWJ decision walk.
+#[derive(Clone, Copy, Debug)]
+pub struct Rwj {
+    jump_probability: f64,
+    steps: u32,
+}
+
+impl Rwj {
+    /// RWJ with the given jump probability and fixed walk length.
+    pub fn new(jump_probability: f64, steps: u32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&jump_probability),
+            "jump probability must be in [0, 1]"
+        );
+        Rwj {
+            jump_probability,
+            steps,
+        }
+    }
+}
+
+impl WalkApp for Rwj {
+    fn walk_length(&self) -> u32 {
+        self.steps
+    }
+
+    fn next(&self, walker: &mut Walker, graph: &CsrGraph) -> Option<VertexId> {
+        let n = graph.num_vertices() as u64;
+        if walker.rng.next_bool(self.jump_probability) {
+            return Some(walker.rng.next_bounded(n) as VertexId);
+        }
+        match uniform_neighbor(walker, graph, walker.current) {
+            Some(v) => Some(v),
+            // Dead end: forced jump keeps the fixed-length walk going.
+            None => Some(walker.rng.next_bounded(n) as VertexId),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "RWJ"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpart_graph::generate;
+
+    #[test]
+    fn jump_probability_one_teleports_anywhere() {
+        let g = generate::ring(100);
+        let app = Rwj::new(1.0, 50);
+        let mut w = Walker::new(0, 0, 3);
+        let mut teleported_far = false;
+        for _ in 0..50 {
+            let v = app.next(&mut w, &g).unwrap();
+            // a ring step would give exactly current+1
+            if v != (w.current + 1) % 100 {
+                teleported_far = true;
+            }
+            w.advance(v);
+        }
+        assert!(teleported_far);
+    }
+
+    #[test]
+    fn dead_end_forces_a_jump_instead_of_stopping() {
+        let g = generate::path(2); // 1 is a sink
+        let app = Rwj::new(0.0, 5);
+        let mut w = Walker::new(0, 1, 9);
+        assert!(app.next(&mut w, &g).is_some());
+    }
+
+    #[test]
+    fn jump_rate_is_close_to_p() {
+        let g = generate::ring(1000);
+        let app = Rwj::new(0.2, 1);
+        let mut jumps = 0;
+        let trials = 10_000;
+        for id in 0..trials {
+            let mut w = Walker::new(id, 500, 4);
+            let v = app.next(&mut w, &g).unwrap();
+            if v != 501 {
+                jumps += 1;
+            }
+        }
+        let rate = jumps as f64 / trials as f64;
+        // teleports occasionally land on 501 too; tolerance covers that
+        assert!((rate - 0.2).abs() < 0.02, "rate = {rate}");
+    }
+}

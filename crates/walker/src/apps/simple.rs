@@ -1,0 +1,51 @@
+//! Plain fixed-length uniform random walk — the workload behind the
+//! paper's load-balance experiments (Figs. 4, 12, 13: `5|V|` walks, 4
+//! steps each).
+
+use crate::walker::{uniform_neighbor, WalkApp, Walker};
+use bpart_graph::{CsrGraph, VertexId};
+
+/// Uniform out-neighbor walk of a fixed length.
+#[derive(Clone, Copy, Debug)]
+pub struct SimpleRandomWalk {
+    steps: u32,
+}
+
+impl SimpleRandomWalk {
+    /// Walk of exactly `steps` steps (dead ends end walks early).
+    pub fn new(steps: u32) -> Self {
+        SimpleRandomWalk { steps }
+    }
+}
+
+impl WalkApp for SimpleRandomWalk {
+    fn walk_length(&self) -> u32 {
+        self.steps
+    }
+
+    fn next(&self, walker: &mut Walker, graph: &CsrGraph) -> Option<VertexId> {
+        uniform_neighbor(walker, graph, walker.current)
+    }
+
+    fn name(&self) -> &'static str {
+        "SimpleRW"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = bpart_graph::generate::ring(6);
+        let mut w = Walker::new(0, 2, 1);
+        let app = SimpleRandomWalk::new(3);
+        for expect in [3u32, 4, 5] {
+            let next = app.next(&mut w, &g).unwrap();
+            assert_eq!(next, expect); // ring has one out-edge per vertex
+            w.advance(next);
+        }
+        assert_eq!(app.walk_length(), 3);
+    }
+}

@@ -1,0 +1,328 @@
+//! The distributed walk driver.
+//!
+//! One superstep = one step of every active walker (KnightKing's
+//! synchronous stepping). A walker whose new vertex belongs to another
+//! machine is transmitted at the barrier — the "message walks" the paper
+//! counts in Fig. 5b.
+
+use crate::walker::{WalkApp, Walker};
+use bpart_cluster::exec::{for_each_machine, ExecMode};
+use bpart_cluster::{Cluster, CostModel, IterationRecord, Router, Telemetry, WorkUnits};
+use bpart_core::Partition;
+use bpart_graph::{CsrGraph, VertexId};
+use std::sync::Arc;
+
+/// Where walks start.
+#[derive(Clone, Debug)]
+pub enum WalkStarts {
+    /// `c` walkers from every vertex (the paper starts `5|V|` walks for
+    /// the load experiments and `|V|` for the applications).
+    PerVertex(u32),
+    /// Explicit start vertices, one walker each.
+    Explicit(Vec<VertexId>),
+}
+
+/// Outcome of a walk run.
+#[derive(Debug)]
+pub struct WalkRun {
+    /// Per-iteration, per-machine records (compute = steps executed).
+    pub telemetry: Telemetry,
+    /// Total walker steps executed across all machines.
+    pub total_steps: u64,
+    /// Total walkers transmitted between machines (the paper's "message
+    /// walks").
+    pub message_walks: u64,
+    /// Number of supersteps executed.
+    pub iterations: usize,
+    /// Recorded walk paths (walker id -> visited vertices, including the
+    /// start), present when the engine was built with recording on.
+    pub paths: Option<Vec<Vec<VertexId>>>,
+}
+
+/// A KnightKing-like walk engine bound to one cluster.
+pub struct WalkEngine {
+    cluster: Cluster,
+    cost: CostModel,
+    mode: ExecMode,
+    record_paths: bool,
+}
+
+/// Per-machine state: the local walker queue plus a local path log.
+struct MachineState {
+    queue: Vec<Walker>,
+    /// `(walker id, step index, vertex)` triples, merged after the run.
+    path_log: Vec<(u64, u32, VertexId)>,
+}
+
+impl WalkEngine {
+    /// Engine with explicit cost model and execution mode.
+    pub fn new(cluster: Cluster, cost: CostModel, mode: ExecMode) -> Self {
+        WalkEngine {
+            cluster,
+            cost,
+            mode,
+            record_paths: false,
+        }
+    }
+
+    /// Engine with default cost model, sequential execution, no recording.
+    pub fn default_for(graph: Arc<CsrGraph>, partition: Arc<Partition>) -> Self {
+        WalkEngine::new(
+            Cluster::new(graph, partition),
+            CostModel::default(),
+            ExecMode::default(),
+        )
+    }
+
+    /// Enables walk-path recording (DeepWalk / node2vec corpus output).
+    pub fn with_recording(mut self) -> Self {
+        self.record_paths = true;
+        self
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Runs `app` from the given starts under `seed`.
+    pub fn run<A: WalkApp + ?Sized>(&self, app: &A, starts: &WalkStarts, seed: u64) -> WalkRun {
+        let graph = self.cluster.graph();
+        let k = self.cluster.num_machines();
+
+        // Seed walkers onto their owners' queues.
+        let start_vertices: Vec<VertexId> = match starts {
+            WalkStarts::PerVertex(c) => {
+                let mut v = Vec::with_capacity(graph.num_vertices() * *c as usize);
+                for copy in 0..*c {
+                    let _ = copy;
+                    v.extend(graph.vertices());
+                }
+                v
+            }
+            WalkStarts::Explicit(list) => list.clone(),
+        };
+        let num_walkers = start_vertices.len() as u64;
+        let mut states: Vec<MachineState> = (0..k)
+            .map(|_| MachineState {
+                queue: Vec::new(),
+                path_log: Vec::new(),
+            })
+            .collect();
+        for (id, &v) in start_vertices.iter().enumerate() {
+            let walker = Walker::new(id as u64, v, seed);
+            let m = self.cluster.owner(v) as usize;
+            if self.record_paths {
+                states[m].path_log.push((walker.id, 0, v));
+            }
+            states[m].queue.push(walker);
+        }
+
+        let telemetry = Telemetry::new();
+        let mut total_steps = 0u64;
+        let mut message_walks = 0u64;
+        let mut iterations = 0usize;
+
+        loop {
+            let active: usize = states.iter().map(|s| s.queue.len()).sum();
+            if active == 0 {
+                break;
+            }
+            let cluster = &self.cluster;
+            let record = self.record_paths;
+            let max_steps = app.walk_length();
+
+            // ---- one step per active walker -----------------------------------
+            let step_out: Vec<(Vec<Vec<Walker>>, WorkUnits)> =
+                for_each_machine(self.mode, &mut states, |m, s| {
+                    let mut work = WorkUnits::default();
+                    let mut outbox: Vec<Vec<Walker>> =
+                        (0..cluster.num_machines()).map(|_| Vec::new()).collect();
+                    let mut kept: Vec<Walker> = Vec::new();
+                    for mut walker in s.queue.drain(..) {
+                        debug_assert_eq!(cluster.owner(walker.current), m);
+                        let next = app.next(&mut walker, graph);
+                        work.steps += 1;
+                        let Some(next) = next else {
+                            continue; // walk over (dead end / stop decision)
+                        };
+                        walker.advance(next);
+                        if record {
+                            s.path_log.push((walker.id, walker.step, next));
+                        }
+                        if walker.step >= max_steps {
+                            continue; // reached full length
+                        }
+                        let dest = cluster.owner(next);
+                        if dest == m {
+                            kept.push(walker);
+                        } else {
+                            outbox[dest as usize].push(walker);
+                        }
+                    }
+                    s.queue = kept;
+                    (outbox, work)
+                });
+
+            let compute: Vec<f64> = step_out
+                .iter()
+                .map(|(_, w)| self.cost.compute_time(w))
+                .collect();
+            total_steps += step_out.iter().map(|(_, w)| w.steps).sum::<u64>();
+
+            // ---- transmit migrating walkers ------------------------------------
+            let mut router: Router<Walker> = Router::new(k);
+            router.put_rows(step_out.into_iter().map(|(rows, _)| rows).collect());
+            let ex = router.exchange();
+            message_walks += ex.sent.iter().sum::<u64>();
+            for (m, inbox) in ex.inboxes.into_iter().enumerate() {
+                states[m].queue.extend(inbox);
+            }
+
+            let comm: Vec<f64> = (0..k)
+                .map(|m| self.cost.comm_time(ex.sent[m], ex.received[m]))
+                .collect();
+            telemetry.record(IterationRecord {
+                compute,
+                comm,
+                sent: ex.sent,
+            });
+            iterations += 1;
+        }
+
+        // ---- merge recorded paths ----------------------------------------------
+        let paths = self.record_paths.then(|| {
+            let mut log: Vec<(u64, u32, VertexId)> =
+                states.into_iter().flat_map(|s| s.path_log).collect();
+            log.sort_unstable();
+            let mut paths: Vec<Vec<VertexId>> = vec![Vec::new(); num_walkers as usize];
+            for (id, step, v) in log {
+                debug_assert_eq!(paths[id as usize].len(), step as usize);
+                paths[id as usize].push(v);
+            }
+            paths
+        });
+
+        WalkRun {
+            telemetry,
+            total_steps,
+            message_walks,
+            iterations,
+            paths,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::SimpleRandomWalk;
+    use bpart_core::{ChunkE, ChunkV, HashPartitioner, Partitioner};
+    use bpart_graph::generate;
+
+    fn engine(graph: &Arc<CsrGraph>, p: impl Partitioner, k: usize) -> WalkEngine {
+        WalkEngine::default_for(graph.clone(), Arc::new(p.partition(graph, k)))
+    }
+
+    #[test]
+    fn fixed_length_walks_take_exactly_len_iterations() {
+        let graph = Arc::new(generate::complete(20));
+        let run =
+            engine(&graph, ChunkV, 4).run(&SimpleRandomWalk::new(4), &WalkStarts::PerVertex(2), 7);
+        assert_eq!(run.iterations, 4);
+        assert_eq!(run.total_steps, 20 * 2 * 4);
+    }
+
+    #[test]
+    fn paths_are_partition_invariant() {
+        let graph = Arc::new(generate::twitter_like().generate_scaled(0.01));
+        let starts = WalkStarts::PerVertex(1);
+        let a =
+            engine(&graph, ChunkV, 4)
+                .with_recording()
+                .run(&SimpleRandomWalk::new(6), &starts, 11);
+        let b = engine(&graph, HashPartitioner::default(), 4)
+            .with_recording()
+            .run(&SimpleRandomWalk::new(6), &starts, 11);
+        assert_eq!(a.paths, b.paths);
+        assert_eq!(a.total_steps, b.total_steps);
+    }
+
+    #[test]
+    fn message_walks_count_cross_partition_moves() {
+        // Ring split in two halves: a walker crosses the boundary exactly
+        // when moving 3->4 or 7->0.
+        let graph = Arc::new(generate::ring(8));
+        let run = engine(&graph, ChunkV, 2).run(
+            &SimpleRandomWalk::new(8),
+            &WalkStarts::Explicit(vec![0]),
+            3,
+        );
+        // the walk visits 8 consecutive vertices; it crosses machines at
+        // 3->4 (transmitted) and at 7->0 — but the latter is its final
+        // step, so the finished walker is never sent
+        assert_eq!(run.message_walks, 1);
+        assert_eq!(run.total_steps, 8);
+    }
+
+    #[test]
+    fn single_machine_sends_nothing() {
+        let graph = Arc::new(generate::complete(12));
+        let run =
+            engine(&graph, ChunkE, 1).run(&SimpleRandomWalk::new(5), &WalkStarts::PerVertex(3), 9);
+        assert_eq!(run.message_walks, 0);
+        assert_eq!(run.telemetry.total_messages(), 0);
+    }
+
+    #[test]
+    fn recorded_paths_have_full_length() {
+        let graph = Arc::new(generate::complete(10));
+        let run = engine(&graph, ChunkV, 2).with_recording().run(
+            &SimpleRandomWalk::new(5),
+            &WalkStarts::PerVertex(1),
+            1,
+        );
+        let paths = run.paths.unwrap();
+        assert_eq!(paths.len(), 10);
+        for (i, p) in paths.iter().enumerate() {
+            assert_eq!(p.len(), 6, "walker {i}: start + 5 steps");
+            assert_eq!(p[0], i as VertexId);
+        }
+    }
+
+    #[test]
+    fn dead_ends_terminate_early() {
+        let graph = Arc::new(generate::path(3)); // 0->1->2, 2 is a sink
+        let run = engine(&graph, ChunkV, 2).with_recording().run(
+            &SimpleRandomWalk::new(10),
+            &WalkStarts::Explicit(vec![0]),
+            5,
+        );
+        let paths = run.paths.unwrap();
+        assert_eq!(paths[0], vec![0, 1, 2]);
+        // steps: 0->1, 1->2, and one final dead-end attempt at 2
+        assert_eq!(run.total_steps, 3);
+    }
+
+    #[test]
+    fn telemetry_load_matches_edge_mass_distribution() {
+        // On a skewed graph with Chunk-V, the hub machine should execute
+        // far more steps than the rest (the paper's Fig. 4).
+        let graph = Arc::new(generate::twitter_like().generate_scaled(0.02));
+        let run =
+            engine(&graph, ChunkV, 8).run(&SimpleRandomWalk::new(4), &WalkStarts::PerVertex(5), 13);
+        let records = run.telemetry.records();
+        // Sum compute per machine over iterations 1.. (iteration 0 is
+        // uniform because starts are per-vertex balanced).
+        let k = 8;
+        let mut load = vec![0.0; k];
+        for r in &records[1..] {
+            for (m, c) in r.compute.iter().enumerate() {
+                load[m] += c;
+            }
+        }
+        let max = load.iter().cloned().fold(0.0, f64::max);
+        let min = load.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > min * 2.0, "expected skewed load: {load:?}");
+    }
+}

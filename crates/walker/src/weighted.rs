@@ -1,0 +1,205 @@
+//! Weighted transitions via per-vertex alias tables — KnightKing's static
+//! walk machinery.
+//!
+//! KnightKing pre-builds one alias table per vertex over its out-edge
+//! weights, giving O(1) weighted transition sampling. The datasets here
+//! are unweighted, so [`WeightedTransitions::synthetic`] derives
+//! deterministic pseudo-weights from edge endpoints (the same construction
+//! the SSSP app uses), which exercises the identical code path.
+//!
+//! The walker's own RNG drives the table, so weighted walks keep the
+//! engine's partition-invariance property.
+
+use crate::walker::{WalkApp, Walker};
+use bpart_graph::alias::AliasTable;
+use bpart_graph::{CsrGraph, VertexId};
+use std::sync::Arc;
+
+/// Pre-built per-vertex transition samplers.
+#[derive(Clone, Debug)]
+pub struct WeightedTransitions {
+    /// One table per vertex with out-degree > 0.
+    tables: Vec<Option<AliasTable>>,
+}
+
+impl WeightedTransitions {
+    /// Builds tables from an arbitrary edge-weight function
+    /// `weight(u, v) -> w > 0`.
+    pub fn build(graph: &CsrGraph, weight: impl Fn(VertexId, VertexId) -> f64) -> Self {
+        let tables = graph
+            .vertices()
+            .map(|u| {
+                let nbrs = graph.out_neighbors(u);
+                if nbrs.is_empty() {
+                    None
+                } else {
+                    let weights: Vec<f64> = nbrs.iter().map(|&v| weight(u, v)).collect();
+                    Some(AliasTable::new(&weights))
+                }
+            })
+            .collect();
+        WeightedTransitions { tables }
+    }
+
+    /// Deterministic synthetic weights in `1..=max_weight` (same generator
+    /// as the SSSP app's [`edge_weight`](crate::apps) convention).
+    pub fn synthetic(graph: &CsrGraph, max_weight: u32) -> Self {
+        Self::build(graph, |u, v| synthetic_weight(u, v, max_weight) as f64)
+    }
+
+    /// Samples a weighted out-transition from `v` using the walker's RNG;
+    /// `None` at dead ends.
+    #[inline]
+    pub fn sample(&self, walker: &mut Walker, graph: &CsrGraph, v: VertexId) -> Option<VertexId> {
+        let table = self.tables[v as usize].as_ref()?;
+        // Drive the alias table from the walker-attached RNG through a
+        // tiny adapter so trajectories stay partition-invariant.
+        let mut adapter = WalkerRngAdapter(&mut walker.rng);
+        let idx = table.sample(&mut adapter);
+        Some(graph.out_neighbors(v)[idx as usize])
+    }
+}
+
+/// Deterministic pseudo-weight for edge `(u, v)` in `1..=max_weight`.
+#[inline]
+pub fn synthetic_weight(u: VertexId, v: VertexId, max_weight: u32) -> u64 {
+    let mut x = ((u as u64) << 32) | v as u64;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x ^ (x >> 31)) % max_weight as u64 + 1
+}
+
+/// Adapts [`WalkerRng`](crate::rng::WalkerRng) to the `rand` traits the
+/// alias table expects (`rand_core` 0.10: implement infallible [`TryRng`]
+/// and the blanket impl provides `Rng`).
+///
+/// [`TryRng`]: rand::rand_core::TryRng
+struct WalkerRngAdapter<'a>(&'a mut crate::rng::WalkerRng);
+
+impl rand::rand_core::TryRng for WalkerRngAdapter<'_> {
+    type Error = std::convert::Infallible;
+
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        Ok((self.0.next_u64() >> 32) as u32)
+    }
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        Ok(self.0.next_u64())
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+        let mut chunk = [0u8; 8];
+        for out in dest.chunks_mut(8) {
+            chunk.copy_from_slice(&self.0.next_u64().to_le_bytes());
+            out.copy_from_slice(&chunk[..out.len()]);
+        }
+        Ok(())
+    }
+}
+
+/// Fixed-length weighted random walk (KnightKing's "static walk" with
+/// non-uniform transition probabilities).
+#[derive(Clone)]
+pub struct WeightedRandomWalk {
+    steps: u32,
+    transitions: Arc<WeightedTransitions>,
+}
+
+impl WeightedRandomWalk {
+    /// Weighted walk of `steps` steps over the given transitions.
+    pub fn new(steps: u32, transitions: Arc<WeightedTransitions>) -> Self {
+        WeightedRandomWalk { steps, transitions }
+    }
+}
+
+impl WalkApp for WeightedRandomWalk {
+    fn walk_length(&self) -> u32 {
+        self.steps
+    }
+
+    fn next(&self, walker: &mut Walker, graph: &CsrGraph) -> Option<VertexId> {
+        self.transitions.sample(walker, graph, walker.current)
+    }
+
+    fn name(&self) -> &'static str {
+        "WeightedRW"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{WalkEngine, WalkStarts};
+    use bpart_core::{ChunkV, HashPartitioner, Partitioner};
+    use bpart_graph::generate;
+    use std::collections::HashMap;
+
+    #[test]
+    fn transition_frequencies_track_weights() {
+        // Star hub with 4 spokes weighted 1, 2, 3, 4 (spoke-to-hub edges
+        // get weight 1 so their one-entry tables stay valid).
+        let g = generate::star(4);
+        let t = WeightedTransitions::build(&g, |_, v| (v as f64).max(1.0));
+        let mut counts: HashMap<VertexId, u64> = HashMap::new();
+        let trials = 100_000u64;
+        for id in 0..trials {
+            let mut w = Walker::new(id, 0, 31);
+            let v = t.sample(&mut w, &g, 0).unwrap();
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let z = 1.0 + 2.0 + 3.0 + 4.0;
+        for v in 1..=4u32 {
+            let p = counts[&v] as f64 / trials as f64;
+            let expect = v as f64 / z;
+            assert!((p - expect).abs() < 0.01, "spoke {v}: {p} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn dead_ends_return_none() {
+        let g = generate::path(2);
+        let t = WeightedTransitions::synthetic(&g, 8);
+        let mut w = Walker::new(0, 1, 1);
+        assert_eq!(t.sample(&mut w, &g, 1), None);
+    }
+
+    #[test]
+    fn synthetic_weights_deterministic_and_bounded() {
+        for (u, v) in [(0u32, 1u32), (7, 3), (1000, 2)] {
+            let w = synthetic_weight(u, v, 8);
+            assert_eq!(w, synthetic_weight(u, v, 8));
+            assert!((1..=8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn weighted_walks_are_partition_invariant() {
+        let graph = Arc::new(generate::twitter_like().generate_scaled(0.01));
+        let transitions = Arc::new(WeightedTransitions::synthetic(&graph, 8));
+        let app = WeightedRandomWalk::new(6, transitions);
+        let starts = WalkStarts::PerVertex(1);
+        let a = WalkEngine::default_for(graph.clone(), Arc::new(ChunkV.partition(&graph, 4)))
+            .with_recording()
+            .run(&app, &starts, 21);
+        let b = WalkEngine::default_for(
+            graph.clone(),
+            Arc::new(HashPartitioner::default().partition(&graph, 4)),
+        )
+        .with_recording()
+        .run(&app, &starts, 21);
+        assert_eq!(a.paths, b.paths);
+    }
+
+    #[test]
+    fn uniform_weights_match_uniform_distribution() {
+        let g = generate::complete(5);
+        let t = WeightedTransitions::build(&g, |_, _| 1.0);
+        let mut counts = [0u64; 5];
+        for id in 0..50_000u64 {
+            let mut w = Walker::new(id, 0, 9);
+            counts[t.sample(&mut w, &g, 0).unwrap() as usize] += 1;
+        }
+        for (v, &count) in counts.iter().enumerate().skip(1) {
+            let p = count as f64 / 50_000.0;
+            assert!((p - 0.25).abs() < 0.01, "vertex {v}: {p}");
+        }
+    }
+}

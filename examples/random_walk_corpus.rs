@@ -1,0 +1,77 @@
+//! DeepWalk / node2vec corpus generation on the simulated cluster:
+//! produce embedding-training walk sequences from a social graph and
+//! compare how much walker traffic each partitioning scheme generates.
+//!
+//! ```sh
+//! cargo run --release -p bpart-bench --example random_walk_corpus
+//! ```
+
+use bpart_core::prelude::*;
+use bpart_graph::generate;
+use bpart_walker::{apps, WalkEngine, WalkStarts};
+use std::sync::Arc;
+
+fn main() {
+    let graph = Arc::new(generate::friendster_like().generate_scaled(0.05));
+    println!(
+        "friendster_like @ 5%: {} vertices, {} edges, 8 machines",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let walk_length = 40;
+    println!("corpus: one walk per vertex, {walk_length} steps, DeepWalk + node2vec(p=2, q=0.5)");
+    println!();
+
+    let schemes: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(ChunkE),
+        Box::new(HashPartitioner::default()),
+        Box::new(BPart::default()),
+    ];
+
+    println!(
+        "{:>8}  {:>10} {:>14} {:>14} {:>12}",
+        "scheme", "app", "total steps", "message walks", "modelled time"
+    );
+    let mut first_corpus: Option<usize> = None;
+    for scheme in &schemes {
+        let partition = Arc::new(scheme.partition(&graph, 8));
+        for (label, app) in [
+            (
+                "DeepWalk",
+                Box::new(apps::DeepWalk::new(walk_length)) as Box<dyn bpart_walker::WalkApp>,
+            ),
+            (
+                "node2vec",
+                Box::new(apps::Node2vec::new(2.0, 0.5, walk_length)),
+            ),
+        ] {
+            let engine = WalkEngine::default_for(graph.clone(), partition.clone()).with_recording();
+            let run = engine.run(app.as_ref(), &WalkStarts::PerVertex(1), 0xC0FFEE);
+            let paths = run.paths.expect("recording enabled");
+            let tokens: usize = paths.iter().map(|p| p.len()).sum();
+            if label == "DeepWalk" {
+                // Walk trajectories are a pure function of the seed — the
+                // corpus is identical under every partitioning scheme.
+                match first_corpus {
+                    None => first_corpus = Some(tokens),
+                    Some(t) => assert_eq!(t, tokens),
+                }
+            }
+            println!(
+                "{:>8}  {:>10} {:>14} {:>14} {:>12.0}",
+                scheme.name(),
+                label,
+                run.total_steps,
+                run.message_walks,
+                run.telemetry.total_time()
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "corpus size: {} tokens; identical under every scheme — only traffic and\n\
+         modelled time change. Lower edge-cut (BPart) means fewer transmitted walkers.",
+        first_corpus.unwrap()
+    );
+}

@@ -1,0 +1,74 @@
+//! Golden determinism tests: fixed seeds must keep producing byte-for-byte
+//! identical graphs and partitions across releases, because every recorded
+//! experiment in EXPERIMENTS.md depends on it.
+//!
+//! Only integer-arithmetic pipelines are pinned to exact hashes (generator,
+//! chunkers, hash partitioner). The float-scoring schemes (Fennel, BPart)
+//! are checked for self-consistency instead, since `powf` may differ
+//! across libm implementations.
+
+use bpart_core::prelude::*;
+use bpart_graph::generate;
+
+/// FNV-1a over little-endian u32 words.
+fn fnv(data: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &x in data {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn graph_hash(g: &bpart_graph::CsrGraph) -> u64 {
+    let edges: Vec<u32> = g.edges().flat_map(|(u, v)| [u, v]).collect();
+    fnv(&edges)
+}
+
+#[test]
+fn generator_output_is_pinned() {
+    let g = generate::twitter_like().generate_scaled(0.02);
+    assert_eq!(g.num_vertices(), 2_000);
+    assert_eq!(g.num_edges(), 71_440);
+    assert_eq!(
+        graph_hash(&g),
+        0x45cd_9a7a_cd42_f6d4,
+        "twitter_like @ 0.02 changed — update EXPERIMENTS.md if intentional"
+    );
+}
+
+#[test]
+fn integer_partitioners_are_pinned() {
+    let g = generate::twitter_like().generate_scaled(0.02);
+    let cases: [(&dyn Partitioner, u64); 3] = [
+        (&ChunkV, 0x71ba_b13a_e7a7_cc65),
+        (&ChunkE, 0x8b73_f6b7_4ea2_5d70),
+        (&HashPartitioner::default(), 0x9c97_4416_40aa_faa1),
+    ];
+    for (scheme, expected) in cases {
+        let p = scheme.partition(&g, 8);
+        assert_eq!(
+            fnv(p.assignment()),
+            expected,
+            "{} assignment changed — update EXPERIMENTS.md if intentional",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn float_partitioners_are_run_to_run_stable() {
+    let g = generate::twitter_like().generate_scaled(0.02);
+    for scheme in [&Fennel::default() as &dyn Partitioner, &BPart::default()] {
+        let a = scheme.partition(&g, 8);
+        let b = scheme.partition(&g, 8);
+        assert_eq!(
+            fnv(a.assignment()),
+            fnv(b.assignment()),
+            "{} must be deterministic within a build",
+            scheme.name()
+        );
+    }
+}
