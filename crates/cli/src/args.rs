@@ -24,6 +24,21 @@ pub enum Command {
     },
     /// `bpart quality GRAPH PARTITION`
     Quality { graph: String, partition: String },
+    /// `bpart run GRAPH --parts K [--scheme S] [--app A] [--iters N]
+    /// [--walk-len L] [--seed N] [--mode M] [--fault-plan SPEC]
+    /// [--checkpoint-every N]`
+    Run {
+        graph: String,
+        parts: usize,
+        scheme: String,
+        app: String,
+        iters: usize,
+        walk_len: u32,
+        seed: u64,
+        mode: String,
+        fault_plan: Option<String>,
+        checkpoint_every: Option<usize>,
+    },
     /// `bpart convert SRC DST`
     Convert { src: String, dst: String },
     /// `bpart schemes`
@@ -124,6 +139,86 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 parts,
                 scheme,
                 out,
+            })
+        }
+        "run" => {
+            let (flags, positional) = split_flags(&rest)?;
+            let graph = match positional.as_slice() {
+                [g] => g.to_string(),
+                other => return Err(err(format!("run takes one GRAPH argument, got {other:?}"))),
+            };
+            let parts: usize = get_required(&flags, "parts")?
+                .parse()
+                .map_err(|_| err("bad --parts"))?;
+            if parts == 0 {
+                return Err(err("--parts must be at least 1"));
+            }
+            let scheme = get_optional(&flags, "scheme")
+                .unwrap_or("bpart")
+                .to_string();
+            let app = get_optional(&flags, "app")
+                .unwrap_or("pagerank")
+                .to_string();
+            let iters = match get_optional(&flags, "iters") {
+                Some(s) => s.parse().map_err(|_| err(format!("bad --iters {s:?}")))?,
+                None => 10,
+            };
+            let walk_len = match get_optional(&flags, "walk-len") {
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| err(format!("bad --walk-len {s:?}")))?,
+                None => 10,
+            };
+            let seed = match get_optional(&flags, "seed") {
+                Some(s) => s.parse().map_err(|_| err(format!("bad --seed {s:?}")))?,
+                None => 42,
+            };
+            let mode = get_optional(&flags, "mode")
+                .unwrap_or("sequential")
+                .to_string();
+            if mode != "sequential" && mode != "threaded" {
+                return Err(err(format!(
+                    "--mode must be sequential or threaded, got {mode:?}"
+                )));
+            }
+            let fault_plan = get_optional(&flags, "fault-plan").map(str::to_string);
+            let checkpoint_every = match get_optional(&flags, "checkpoint-every") {
+                Some(s) => {
+                    let every: usize = s
+                        .parse()
+                        .map_err(|_| err(format!("bad --checkpoint-every {s:?}")))?;
+                    if every == 0 {
+                        return Err(err("--checkpoint-every must be at least 1"));
+                    }
+                    Some(every)
+                }
+                None => None,
+            };
+            check_unknown(
+                &flags,
+                &[
+                    "parts",
+                    "scheme",
+                    "app",
+                    "iters",
+                    "walk-len",
+                    "seed",
+                    "mode",
+                    "fault-plan",
+                    "checkpoint-every",
+                ],
+            )?;
+            Ok(Command::Run {
+                graph,
+                parts,
+                scheme,
+                app,
+                iters,
+                walk_len,
+                seed,
+                mode,
+                fault_plan,
+                checkpoint_every,
             })
         }
         "quality" => {
@@ -260,6 +355,68 @@ mod tests {
     fn flag_without_value_is_an_error() {
         let e = p(&["partition", "g", "--parts"]).unwrap_err();
         assert!(e.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn parses_run_with_defaults() {
+        let cmd = p(&["run", "g.txt", "--parts", "4"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                graph: "g.txt".into(),
+                parts: 4,
+                scheme: "bpart".into(),
+                app: "pagerank".into(),
+                iters: 10,
+                walk_len: 10,
+                seed: 42,
+                mode: "sequential".into(),
+                fault_plan: None,
+                checkpoint_every: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_run_with_fault_flags() {
+        let cmd = p(&[
+            "run",
+            "g.txt",
+            "--parts",
+            "8",
+            "--app",
+            "deepwalk",
+            "--fault-plan",
+            "crash@3:m1",
+            "--checkpoint-every",
+            "2",
+            "--mode",
+            "threaded",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run {
+                app,
+                fault_plan,
+                checkpoint_every,
+                mode,
+                ..
+            } => {
+                assert_eq!(app, "deepwalk");
+                assert_eq!(fault_plan.as_deref(), Some("crash@3:m1"));
+                assert_eq!(checkpoint_every, Some(2));
+                assert_eq!(mode, "threaded");
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_rejects_bad_values() {
+        assert!(p(&["run", "g", "--parts", "4", "--checkpoint-every", "0"]).is_err());
+        assert!(p(&["run", "g", "--parts", "4", "--mode", "turbo"]).is_err());
+        assert!(p(&["run", "g", "--parts", "0"]).is_err());
+        assert!(p(&["run"]).is_err());
     }
 
     #[test]

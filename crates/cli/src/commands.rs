@@ -3,13 +3,20 @@
 
 use crate::args::Command;
 use crate::USAGE;
+use bpart_cluster::exec::ExecMode;
+use bpart_cluster::{Cluster, CostModel, FaultPlan, Telemetry};
 use bpart_core::pio;
 use bpart_core::prelude::*;
+use bpart_engine::apps::{ConnectedComponents, PageRank};
+use bpart_engine::IterationEngine;
 use bpart_graph::{generate, io, stats, CsrGraph};
 use bpart_multilevel::Multilevel;
+use bpart_walker::apps::{DeepWalk, SimpleRandomWalk};
+use bpart_walker::{WalkEngine, WalkStarts};
 use std::fmt;
 use std::fs::File;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Errors surfaced to the user with context.
@@ -48,6 +55,29 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         } => partition_cmd(graph, *parts, scheme, out.as_deref()),
         Command::Quality { graph, partition } => quality_cmd(graph, partition),
         Command::Convert { src, dst } => convert_cmd(src, dst),
+        Command::Run {
+            graph,
+            parts,
+            scheme,
+            app,
+            iters,
+            walk_len,
+            seed,
+            mode,
+            fault_plan,
+            checkpoint_every,
+        } => run_cmd(
+            graph,
+            *parts,
+            scheme,
+            app,
+            *iters,
+            *walk_len,
+            *seed,
+            mode,
+            fault_plan.as_deref(),
+            *checkpoint_every,
+        ),
     }
 }
 
@@ -213,6 +243,112 @@ fn quality_cmd(graph_path: &str, partition_path: &str) -> Result<String, CliErro
     Ok(report(&graph, &partition, partition_path))
 }
 
+/// All application names accepted by `run --app`.
+pub fn app_names() -> Vec<&'static str> {
+    vec!["pagerank", "cc", "deepwalk", "walk"]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cmd(
+    graph_path: &str,
+    parts: usize,
+    scheme_name: &str,
+    app: &str,
+    iters: usize,
+    walk_len: u32,
+    seed: u64,
+    mode: &str,
+    fault_plan: Option<&str>,
+    checkpoint_every: Option<usize>,
+) -> Result<String, CliError> {
+    let graph = Arc::new(load_graph(graph_path)?);
+    let scheme = scheme_by_name(scheme_name)?;
+    let partition = Arc::new(scheme.partition(&graph, parts));
+    let mode = match mode {
+        "threaded" => ExecMode::Threaded,
+        _ => ExecMode::Sequential,
+    };
+    let plan = match fault_plan {
+        Some(spec) => spec
+            .parse::<FaultPlan>()
+            .map_err(|e| fail(format!("bad --fault-plan: {e}")))?,
+        None => FaultPlan::default(),
+    };
+
+    let mut out = format!(
+        "run: {app} on {graph_path} ({} vertices, {} edges), {} scheme, {parts} machines\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        scheme.name(),
+    );
+    match app {
+        "pagerank" | "cc" => {
+            let mut engine =
+                IterationEngine::new(Cluster::new(graph, partition), CostModel::default(), mode)
+                    .with_faults(plan);
+            if let Some(every) = checkpoint_every {
+                engine = engine.with_checkpoint_every(every);
+            }
+            let (telemetry, iterations) = if app == "pagerank" {
+                let run = engine
+                    .try_run(&PageRank::new(iters))
+                    .map_err(|e| fail(format!("run failed: {e}")))?;
+                (run.telemetry, run.iterations)
+            } else {
+                let run = engine
+                    .try_run(&ConnectedComponents)
+                    .map_err(|e| fail(format!("run failed: {e}")))?;
+                (run.telemetry, run.iterations)
+            };
+            out.push_str(&telemetry_report(&telemetry, iterations));
+        }
+        "deepwalk" | "walk" => {
+            let mut engine =
+                WalkEngine::new(Cluster::new(graph, partition), CostModel::default(), mode)
+                    .with_faults(plan);
+            if let Some(every) = checkpoint_every {
+                engine = engine.with_checkpoint_every(every);
+            }
+            let starts = WalkStarts::PerVertex(1);
+            let run = if app == "deepwalk" {
+                engine.try_run(&DeepWalk::new(walk_len), &starts, seed)
+            } else {
+                engine.try_run(&SimpleRandomWalk::new(walk_len), &starts, seed)
+            }
+            .map_err(|e| fail(format!("run failed: {e}")))?;
+            out.push_str(&format!(
+                "  walker steps:    {}\n  message walks:   {}\n",
+                run.total_steps, run.message_walks
+            ));
+            out.push_str(&telemetry_report(&run.telemetry, run.iterations));
+        }
+        other => {
+            return Err(fail(format!(
+                "unknown app {other:?}; available: {}",
+                app_names().join(", ")
+            )))
+        }
+    }
+    Ok(out)
+}
+
+/// The telemetry summary shared by iteration and walk runs: the paper's
+/// aggregates plus the fault/recovery counters.
+fn telemetry_report(t: &Telemetry, iterations: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("  supersteps:      {iterations}\n"));
+    out.push_str(&format!("  total time:      {:.2} units\n", t.total_time()));
+    out.push_str(&format!("  waiting ratio:   {:.4}\n", t.waiting_ratio()));
+    out.push_str(&format!("  messages:        {}\n", t.total_messages()));
+    out.push_str(&format!("  faults injected: {}\n", t.total_faults()));
+    out.push_str(&format!("  replayed steps:  {}\n", t.replayed_supersteps()));
+    out.push_str(&format!(
+        "  recovery time:   {:.2} units\n",
+        t.total_recovery_time()
+    ));
+    out
+}
+
 fn convert_cmd(src: &str, dst: &str) -> Result<String, CliError> {
     let graph = load_graph(src)?;
     save_graph(&graph, dst)?;
@@ -372,6 +508,52 @@ mod tests {
         // hands back the GD scheme so the binary reports the panic cleanly.
         let s = scheme_by_name("gd").unwrap();
         assert_eq!(s.name(), "GD");
+    }
+
+    fn run_on(graph: String, app: &str, fault_plan: Option<&str>) -> Result<String, CliError> {
+        run(&Command::Run {
+            graph,
+            parts: 4,
+            scheme: "chunk-v".into(),
+            app: app.into(),
+            iters: 5,
+            walk_len: 5,
+            seed: 7,
+            mode: "sequential".into(),
+            fault_plan: fault_plan.map(str::to_string),
+            checkpoint_every: Some(2),
+        })
+    }
+
+    #[test]
+    fn run_surfaces_faults_in_the_report() {
+        let graph_path = tmp("run_faults.txt");
+        let gp = graph_path.to_str().unwrap().to_string();
+        runs(Command::Generate {
+            preset: "lj_like".into(),
+            scale: 0.01,
+            seed: Some(5),
+            out: gp.clone(),
+        });
+
+        for app in ["pagerank", "cc", "deepwalk", "walk"] {
+            let clean = run_on(gp.clone(), app, None).unwrap();
+            assert!(clean.contains("faults injected: 0"), "{app}: {clean}");
+            assert!(clean.contains("replayed steps:  0"), "{app}: {clean}");
+
+            // crash at 3 with checkpoints every 2: rollback to the
+            // superstep-2 checkpoint, so superstep 2 is replayed
+            let faulted = run_on(gp.clone(), app, Some("crash@3:m1")).unwrap();
+            assert!(faulted.contains("faults injected: 1"), "{app}: {faulted}");
+            assert!(!faulted.contains("replayed steps:  0"), "{app}: {faulted}");
+        }
+
+        let e = run_on(gp.clone(), "pagerank", Some("crash@nope")).unwrap_err();
+        assert!(e.to_string().contains("fault-plan"), "{e}");
+        let e = run_on(gp.clone(), "frobnicate", None).unwrap_err();
+        assert!(e.to_string().contains("unknown app"), "{e}");
+
+        std::fs::remove_file(graph_path).ok();
     }
 
     #[test]

@@ -40,12 +40,28 @@ USAGE:
   bpart stats     GRAPH
   bpart partition GRAPH --parts K [--scheme NAME] [--out FILE]
   bpart quality   GRAPH PARTITION
+  bpart run       GRAPH --parts K [--scheme NAME] [--app APP] [--iters N] \
+[--walk-len L] [--seed N] [--mode sequential|threaded] [--fault-plan SPEC] \
+[--checkpoint-every N]
   bpart convert   SRC DST
   bpart schemes
 
 SCHEMES:
   chunk-v | chunk-e | hash | fennel | ldg | bpart (default) | bpart-p1 |
   multilevel | gd
+
+APPS (run):
+  pagerank (default) | cc | deepwalk | walk
+
+FAULT PLANS (run --fault-plan):
+  semicolon-separated clauses, e.g. \"crash@3:m1;straggle@0-9:m2:x4;seed=7\":
+  crash@S:mM            machine M crashes at superstep S
+  straggle@A-B:mM:xF    machine M runs F times slower on supersteps A..=B
+  drop@A-B:mF->mT:P     link F->T drops (retransmits) messages with prob P
+  dup@A-B:mF->mT:P      link F->T duplicates messages with prob P
+  seed=N                seed for the per-link fault hashing
+  Crashed supersteps roll back to the last checkpoint (--checkpoint-every)
+  and replay; results are identical to a fault-free run.
 
 FILES:
   *.bpgr  binary CSR graph        (anything else: text edge list)

@@ -44,6 +44,10 @@ pub struct CostModel {
     pub vertex_cost: f64,
     /// Time per message sent or received (communication phase).
     pub message_cost: f64,
+    /// Time per unit of state written to (or restored from) a checkpoint:
+    /// one vertex value for iteration engines, one in-flight walker for
+    /// walk engines. Only charged when checkpointing is enabled.
+    pub checkpoint_cost: f64,
 }
 
 impl Default for CostModel {
@@ -58,6 +62,10 @@ impl Default for CostModel {
             edge_cost: 1.0,
             vertex_cost: 1.0,
             message_cost: 1.0,
+            // Checkpoints stream state to local disk: cheaper per element
+            // than live computation, but not free — the interval trade-off
+            // in the fault benchmarks only exists if snapshots cost time.
+            checkpoint_cost: 0.25,
         }
     }
 }
@@ -74,6 +82,12 @@ impl CostModel {
     /// given message counts.
     pub fn comm_time(&self, sent: u64, received: u64) -> f64 {
         (sent + received) as f64 * self.message_cost
+    }
+
+    /// Time for one machine to snapshot (or restore) `state_units` units
+    /// of engine state.
+    pub fn checkpoint_time(&self, state_units: u64) -> f64 {
+        state_units as f64 * self.checkpoint_cost
     }
 }
 
@@ -95,8 +109,21 @@ mod tests {
             edge_cost: 0.5,
             vertex_cost: 0.0,
             message_cost: 0.1,
+            ..CostModel::default()
         };
         assert_eq!(weighted.compute_time(&w), 22.5);
+    }
+
+    #[test]
+    fn checkpoint_time_is_linear_in_state() {
+        let m = CostModel::default();
+        assert_eq!(m.checkpoint_time(0), 0.0);
+        assert_eq!(m.checkpoint_time(100), 100.0 * m.checkpoint_cost);
+        let free = CostModel {
+            checkpoint_cost: 0.0,
+            ..CostModel::default()
+        };
+        assert_eq!(free.checkpoint_time(1_000_000), 0.0);
     }
 
     #[test]

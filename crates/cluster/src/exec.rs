@@ -6,9 +6,16 @@
 //! locks — results come back in machine order either way, so the two modes
 //! produce identical output as long as each machine's computation is
 //! self-contained (engines seed per-machine RNGs).
+//!
+//! A panicking closure does not abort the process: both modes catch the
+//! unwind and surface it as a per-machine [`MachineFailure::Panic`], which
+//! the engines treat like any other machine failure (recoverable via
+//! checkpoint rollback, or re-raised when recovery is impossible).
 
+use crate::fault::MachineFailure;
 use crate::MachineId;
 use crossbeam::thread;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How machine closures are executed within a superstep.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -22,9 +29,18 @@ pub enum ExecMode {
     Threaded,
 }
 
-/// Runs `f(machine, &mut state)` for every machine over disjoint states and
-/// returns the per-machine results in machine order.
-pub fn for_each_machine<S, R, F>(mode: ExecMode, states: &mut [S], f: F) -> Vec<R>
+/// Runs `f(machine, &mut state)` for every machine over disjoint states
+/// and returns the per-machine outcomes in machine order.
+///
+/// A closure that panics yields `Err(MachineFailure::Panic(..))` for that
+/// machine instead of tearing down the caller; the other machines still
+/// run to completion in both modes. Note a panicked machine may have
+/// half-updated its state — recovery must restore it from a snapshot.
+pub fn for_each_machine<S, R, F>(
+    mode: ExecMode,
+    states: &mut [S],
+    f: F,
+) -> Vec<Result<R, MachineFailure>>
 where
     S: Send,
     R: Send,
@@ -34,7 +50,10 @@ where
         ExecMode::Sequential => states
             .iter_mut()
             .enumerate()
-            .map(|(m, s)| f(m as MachineId, s))
+            .map(|(m, s)| {
+                catch_unwind(AssertUnwindSafe(|| f(m as MachineId, s)))
+                    .map_err(MachineFailure::Panic)
+            })
             .collect(),
         ExecMode::Threaded => thread::scope(|scope| {
             let handles: Vec<_> = states
@@ -47,16 +66,61 @@ where
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("machine thread panicked"))
+                .map(|h| h.join().map_err(MachineFailure::Panic))
                 .collect()
         })
         .expect("crossbeam scope failed"),
     }
 }
 
+/// Splits per-machine outcomes into all-Ok results or the first failing
+/// machine. Engines call this after every fallible phase: either the
+/// superstep proceeds with complete results, or recovery rolls back to
+/// the last checkpoint.
+pub fn collect_results<R>(
+    results: Vec<Result<R, MachineFailure>>,
+) -> Result<Vec<R>, (MachineId, MachineFailure)> {
+    let mut ok = Vec::with_capacity(results.len());
+    for (m, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(v) => ok.push(v),
+            Err(failure) => return Err((m as MachineId, failure)),
+        }
+    }
+    Ok(ok)
+}
+
+/// [`for_each_machine`] for callers that treat any machine failure as
+/// fatal: re-raises the first panic on the calling thread (preserving the
+/// payload) and aborts on injected crashes.
+pub fn for_each_machine_infallible<S, R, F>(mode: ExecMode, states: &mut [S], f: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    F: Fn(MachineId, &mut S) -> R + Sync,
+{
+    for_each_machine(mode, states, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(MachineFailure::Panic(payload)) => std::panic::resume_unwind(payload),
+            Err(failure @ MachineFailure::Crash { .. }) => {
+                panic!("machine failed without a recovery path: {failure:?}")
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn unwrap_all<R>(results: Vec<Result<R, MachineFailure>>) -> Vec<R> {
+        results
+            .into_iter()
+            .map(|r| r.expect("machine should succeed"))
+            .collect()
+    }
 
     #[test]
     fn sequential_and_threaded_agree() {
@@ -66,8 +130,8 @@ mod tests {
             *s *= 10;
             *s + m as u64
         };
-        let ra = for_each_machine(ExecMode::Sequential, &mut a, f);
-        let rb = for_each_machine(ExecMode::Threaded, &mut b, f);
+        let ra = unwrap_all(for_each_machine(ExecMode::Sequential, &mut a, f));
+        let rb = unwrap_all(for_each_machine(ExecMode::Threaded, &mut b, f));
         assert_eq!(ra, rb);
         assert_eq!(a, b);
         assert_eq!(ra, vec![10, 21, 32, 43]);
@@ -76,7 +140,7 @@ mod tests {
     #[test]
     fn results_come_back_in_machine_order() {
         let mut states = vec![(); 8];
-        let r = for_each_machine(ExecMode::Threaded, &mut states, |m, _| m);
+        let r = unwrap_all(for_each_machine(ExecMode::Threaded, &mut states, |m, _| m));
         assert_eq!(r, (0..8).collect::<Vec<_>>());
     }
 
@@ -85,5 +149,45 @@ mod tests {
         let mut states: Vec<u8> = vec![];
         let r = for_each_machine(ExecMode::Sequential, &mut states, |_, _| 0u8);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn panicking_machine_becomes_a_failure_not_an_abort() {
+        for mode in [ExecMode::Sequential, ExecMode::Threaded] {
+            let mut states = vec![0u32; 4];
+            let results = for_each_machine(mode, &mut states, |m, s| {
+                if m == 2 {
+                    panic!("machine 2 exploded");
+                }
+                *s = m + 100;
+                *s
+            });
+            assert_eq!(results.len(), 4);
+            for (m, r) in results.iter().enumerate() {
+                if m == 2 {
+                    let failure = r.as_ref().unwrap_err();
+                    assert_eq!(failure.panic_message(), Some("machine 2 exploded"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), m as u32 + 100);
+                }
+            }
+            // Healthy machines still mutated their state.
+            assert_eq!(states[0], 100);
+            assert_eq!(states[3], 103);
+        }
+    }
+
+    #[test]
+    fn infallible_wrapper_reraises_the_panic_payload() {
+        let mut states = vec![(); 2];
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            for_each_machine_infallible(ExecMode::Sequential, &mut states, |m, _| {
+                if m == 1 {
+                    panic!("original payload");
+                }
+            })
+        }))
+        .unwrap_err();
+        assert_eq!(caught.downcast_ref::<&str>(), Some(&"original payload"));
     }
 }

@@ -15,7 +15,11 @@
 //! * [`telemetry::Telemetry`] — per-iteration per-machine records plus the
 //!   aggregates the paper reports (waiting-time ratio, total running time),
 //! * [`exec::for_each_machine`] — runs per-machine closures over disjoint
-//!   machine states, sequentially or on real threads (crossbeam scope).
+//!   machine states, sequentially or on real threads (crossbeam scope);
+//!   a panicking closure surfaces as a recoverable per-machine failure,
+//! * [`fault::FaultPlan`] / [`fault::FaultState`] — deterministic fault
+//!   injection (machine crashes, stragglers, lossy links) applied at the
+//!   exchange barrier, driving the engines' checkpoint/rollback recovery.
 //!
 //! Every engine built on this crate counts work in *units*, not wall-clock
 //! seconds, so experiment output is deterministic and machine-independent;
@@ -24,10 +28,12 @@
 
 pub mod cost;
 pub mod exec;
+pub mod fault;
 pub mod router;
 pub mod telemetry;
 
 pub use cost::{CostModel, WorkUnits};
+pub use fault::{FaultPlan, FaultState, LinkOverhead, MachineFailure, UnrecoverableFailure};
 pub use router::Router;
 pub use telemetry::{IterationRecord, Telemetry};
 

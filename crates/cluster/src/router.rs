@@ -71,14 +71,48 @@ impl<M> Router<M> {
 
     /// Re-installs rows taken by [`take_rows`](Router::take_rows) (after
     /// machines filled them).
+    ///
+    /// The shape must be a full `k × k` matrix: exactly one row per
+    /// sender, each row holding exactly one outbox per destination.
+    /// [`exchange`](Router::exchange) indexes `outboxes[from][to]`
+    /// unchecked-by-construction, so a short inner row would otherwise
+    /// surface later as a confusing out-of-bounds panic (or, worse, a
+    /// *long* row would silently drop the excess destinations). Both
+    /// dimensions are therefore asserted here, at the hand-back point
+    /// where the mistake is made.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != k` or any `rows[from].len() != k`.
     pub fn put_rows(&mut self, rows: Vec<Vec<Vec<M>>>) {
-        assert_eq!(rows.len(), self.num_machines());
+        assert_eq!(
+            rows.len(),
+            self.num_machines(),
+            "put_rows: need one outbox row per sender"
+        );
+        for (from, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                self.num_machines(),
+                "put_rows: sender {from}'s row must cover every destination"
+            );
+        }
         self.outboxes = rows;
     }
 
     /// Total messages staged right now.
     pub fn staged(&self) -> u64 {
         self.outboxes.iter().flatten().map(|b| b.len() as u64).sum()
+    }
+
+    /// Staged message counts per directed link: `matrix[from][to]`.
+    /// Fault injection reads this at the barrier to decide per-link
+    /// drop/duplication overheads before the exchange empties the boxes.
+    pub fn staged_matrix(&self) -> Vec<Vec<u64>> {
+        self.outboxes
+            .iter()
+            .map(|row| row.iter().map(|b| b.len() as u64).collect())
+            .collect()
     }
 
     /// Messages sent by each machine over the router's lifetime.
@@ -160,5 +194,48 @@ mod tests {
     #[should_panic(expected = "at least one machine")]
     fn zero_machines_panics() {
         let _: Router<u8> = Router::new(0);
+    }
+
+    #[test]
+    fn staged_matrix_counts_per_link() {
+        let mut r: Router<u8> = Router::new(3);
+        r.send(0, 1, 1);
+        r.send(0, 1, 2);
+        r.send(2, 0, 3);
+        assert_eq!(
+            r.staged_matrix(),
+            vec![vec![0, 2, 0], vec![0, 0, 0], vec![1, 0, 0]]
+        );
+        let _ = r.exchange();
+        assert_eq!(r.staged_matrix(), vec![vec![0; 3]; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one outbox row per sender")]
+    fn put_rows_rejects_wrong_outer_arity() {
+        let mut r: Router<u8> = Router::new(3);
+        r.put_rows(vec![vec![Vec::new(); 3]; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every destination")]
+    fn put_rows_rejects_wrong_inner_arity() {
+        let mut r: Router<u8> = Router::new(3);
+        // Right number of rows, but sender 1's row is missing a
+        // destination — exchange would index out of bounds later.
+        let rows = vec![
+            vec![Vec::new(), Vec::new(), Vec::new()],
+            vec![Vec::new(), Vec::new()],
+            vec![Vec::new(), Vec::new(), Vec::new()],
+        ];
+        r.put_rows(rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every destination")]
+    fn put_rows_rejects_overlong_inner_rows() {
+        let mut r: Router<u8> = Router::new(2);
+        // An overlong row would silently drop the excess destinations.
+        r.put_rows(vec![vec![Vec::new(); 3], vec![Vec::new(); 2]]);
     }
 }

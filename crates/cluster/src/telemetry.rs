@@ -22,14 +22,24 @@ pub struct IterationRecord {
     pub comm: Vec<f64>,
     /// Messages sent per machine.
     pub sent: Vec<u64>,
+    /// Faults injected during this superstep (crashes fired plus messages
+    /// dropped or duplicated on faulty links).
+    pub faults: u64,
+    /// True when this record re-executes a superstep already completed
+    /// before a rollback (recovery replay).
+    pub replay: bool,
+    /// Recovery work charged at this superstep (checkpoint restore after
+    /// a crash); added to the superstep's wall time.
+    pub recovery: f64,
 }
 
 impl IterationRecord {
-    /// Wall time of this superstep: slowest compute plus slowest comm.
+    /// Wall time of this superstep: slowest compute plus slowest comm,
+    /// plus any recovery work (rollback happens with the cluster stalled).
     pub fn wall_time(&self) -> f64 {
         let max_c = self.compute.iter().cloned().fold(0.0, f64::max);
         let max_m = self.comm.iter().cloned().fold(0.0, f64::max);
-        max_c + max_m
+        max_c + max_m + self.recovery
     }
 
     /// Waiting time of each machine in this superstep's computation phase.
@@ -108,6 +118,35 @@ impl Telemetry {
             .flat_map(|r| r.sent.iter().copied())
             .sum()
     }
+
+    /// Total faults injected across all supersteps (crashes plus faulty
+    /// link events). Zero on a fault-free run.
+    pub fn total_faults(&self) -> u64 {
+        self.records.lock().iter().map(|r| r.faults).sum()
+    }
+
+    /// Number of supersteps that were recovery replays of previously
+    /// completed work. Zero unless a crash forced a rollback.
+    pub fn replayed_supersteps(&self) -> usize {
+        self.records.lock().iter().filter(|r| r.replay).count()
+    }
+
+    /// Total recovery work charged across the run: checkpoint restores
+    /// plus the compute re-executed during replayed supersteps.
+    pub fn total_recovery_time(&self) -> f64 {
+        self.records
+            .lock()
+            .iter()
+            .map(|r| {
+                let replayed = if r.replay {
+                    r.wall_time() - r.recovery
+                } else {
+                    0.0
+                };
+                r.recovery + replayed
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +158,7 @@ mod tests {
             compute,
             comm,
             sent,
+            ..IterationRecord::default()
         }
     }
 
@@ -156,5 +196,39 @@ mod tests {
         assert_eq!(t.waiting_ratio(), 0.0);
         assert!(t.waiting_per_machine().is_empty());
         assert_eq!(t.total_messages(), 0);
+        assert_eq!(t.total_faults(), 0);
+        assert_eq!(t.replayed_supersteps(), 0);
+        assert_eq!(t.total_recovery_time(), 0.0);
+    }
+
+    #[test]
+    fn fault_fields_feed_the_recovery_aggregates() {
+        let t = Telemetry::new();
+        // Normal superstep, then an aborted one (crash), then its replay.
+        t.record(rec(vec![2.0, 1.0], vec![1.0, 1.0], vec![5, 5]));
+        t.record(IterationRecord {
+            compute: vec![2.0, 1.0],
+            comm: vec![0.0, 0.0],
+            sent: vec![0, 0],
+            faults: 1,
+            replay: false,
+            recovery: 4.0,
+        });
+        t.record(IterationRecord {
+            compute: vec![2.0, 1.0],
+            comm: vec![1.0, 1.0],
+            sent: vec![5, 5],
+            faults: 0,
+            replay: true,
+            recovery: 0.0,
+        });
+        assert_eq!(t.total_faults(), 1);
+        assert_eq!(t.replayed_supersteps(), 1);
+        // Recovery time = 4.0 restore + 3.0 replayed superstep wall time.
+        assert!((t.total_recovery_time() - 7.0).abs() < 1e-12);
+        // Wall time of the aborted superstep includes the restore.
+        assert_eq!(t.records()[1].wall_time(), 2.0 + 4.0);
+        // Total time counts wasted, restore, and replayed work.
+        assert!((t.total_time() - (3.0 + 6.0 + 3.0)).abs() < 1e-12);
     }
 }

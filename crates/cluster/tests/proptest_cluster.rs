@@ -2,7 +2,9 @@
 //! telemetry bounds, and exec-mode equivalence hold for arbitrary inputs.
 
 use bpart_cluster::exec::{for_each_machine, ExecMode};
-use bpart_cluster::{CostModel, IterationRecord, Router, Telemetry, WorkUnits};
+use bpart_cluster::{
+    CostModel, FaultPlan, FaultState, IterationRecord, Router, Telemetry, WorkUnits,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -48,6 +50,7 @@ proptest! {
                 compute: compute.clone(),
                 comm: vec![0.0; 4],
                 sent: vec![0; 4],
+                ..IterationRecord::default()
             });
         }
         let ratio = t.waiting_ratio();
@@ -74,6 +77,29 @@ proptest! {
     }
 
     #[test]
+    fn link_overhead_is_deterministic_and_bounded(
+        seed in 0u64..1000,
+        superstep in 0usize..20,
+        messages in 0u64..500,
+        drop_p in 0.0f64..1.0,
+        dup_p in 0.0f64..1.0,
+    ) {
+        let plan = FaultPlan::new()
+            .with_seed(seed)
+            .drop_link(0, 19, 0, 1, drop_p)
+            .duplicate_link(0, 19, 0, 1, dup_p);
+        // Two independent states over the same plan see identical faults —
+        // the engines rely on this for replay determinism and for
+        // Sequential/Threaded agreement.
+        let a = FaultState::new(plan.clone()).link_overhead(superstep, 0, 1, messages);
+        let b = FaultState::new(plan).link_overhead(superstep, 0, 1, messages);
+        prop_assert_eq!(a.dropped, b.dropped);
+        prop_assert_eq!(a.duplicated, b.duplicated);
+        prop_assert!(a.dropped <= messages);
+        prop_assert!(a.duplicated <= messages);
+    }
+
+    #[test]
     fn exec_modes_agree_on_arbitrary_state(values in prop::collection::vec(0u64..1000, 0..16)) {
         let f = |m: u32, s: &mut u64| {
             *s = s.wrapping_mul(31).wrapping_add(m as u64);
@@ -81,8 +107,14 @@ proptest! {
         };
         let mut a = values.clone();
         let mut b = values.clone();
-        let ra = for_each_machine(ExecMode::Sequential, &mut a, f);
-        let rb = for_each_machine(ExecMode::Threaded, &mut b, f);
+        let ra: Vec<u64> = for_each_machine(ExecMode::Sequential, &mut a, f)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let rb: Vec<u64> = for_each_machine(ExecMode::Threaded, &mut b, f)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
         prop_assert_eq!(ra, rb);
         prop_assert_eq!(a, b);
     }

@@ -1,10 +1,24 @@
 //! The BSP iteration driver.
+//!
+//! Fault tolerance: the engine can run under a [`FaultPlan`] (injected
+//! machine crashes, stragglers, lossy links) with superstep
+//! checkpointing. Crashes trigger rollback to the last checkpoint and
+//! deterministic replay, so final values are bitwise-identical to a
+//! fault-free run — only the telemetry (wasted work, recovery time,
+//! replayed supersteps) shows the damage. The initial state acts as an
+//! implicit checkpoint, so recovery works even with checkpointing
+//! disabled (at the price of replaying from superstep zero).
 
 use crate::program::{ProgramContext, VertexProgram};
-use bpart_cluster::exec::{for_each_machine, ExecMode};
-use bpart_cluster::{Cluster, CostModel, IterationRecord, Router, Telemetry, WorkUnits};
+use bpart_cluster::exec::{collect_results, for_each_machine, ExecMode};
+use bpart_cluster::MachineId;
+use bpart_cluster::{
+    Cluster, CostModel, FaultPlan, FaultState, IterationRecord, MachineFailure, Router, Telemetry,
+    UnrecoverableFailure, WorkUnits,
+};
 use bpart_core::Partition;
 use bpart_graph::{CsrGraph, VertexId};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Outcome of an engine run.
@@ -14,7 +28,8 @@ pub struct EngineRun<V> {
     pub values: Vec<V>,
     /// Per-iteration, per-machine execution records.
     pub telemetry: Telemetry,
-    /// Number of iterations executed.
+    /// Number of (logical) iterations executed; replayed supersteps are
+    /// not double-counted here — they appear in the telemetry instead.
     pub iterations: usize,
 }
 
@@ -41,6 +56,8 @@ pub struct IterationEngine {
     cost: CostModel,
     mode: ExecMode,
     comm: CommAccounting,
+    faults: FaultPlan,
+    checkpoint_every: Option<usize>,
 }
 
 /// Per-machine mutable state across iterations.
@@ -55,6 +72,34 @@ struct MachineState<V, A> {
     touched: Vec<VertexId>,
 }
 
+/// A globally consistent snapshot taken at a superstep boundary.
+struct Checkpoint<V> {
+    /// The next superstep to run after restoring this snapshot.
+    superstep: usize,
+    /// Per-machine `(values, active)` pairs.
+    machines: Vec<(Vec<V>, Vec<bool>)>,
+}
+
+fn snapshot<V: Clone, A>(states: &[MachineState<V, A>]) -> Vec<(Vec<V>, Vec<bool>)> {
+    states
+        .iter()
+        .map(|s| (s.values.clone(), s.active.clone()))
+        .collect()
+}
+
+/// Restores every machine to `checkpoint`, clearing scatter scratch that
+/// a partially executed (or panicked) superstep may have left behind.
+fn rollback<V: Clone, A>(states: &mut [MachineState<V, A>], checkpoint: &Checkpoint<V>) {
+    for (s, (values, active)) in states.iter_mut().zip(&checkpoint.machines) {
+        for &v in &s.touched {
+            s.acc[v as usize] = None;
+        }
+        s.touched.clear();
+        s.values.clone_from(values);
+        s.active.clone_from(active);
+    }
+}
+
 impl IterationEngine {
     /// Engine over `cluster` with an explicit cost model and execution mode.
     pub fn new(cluster: Cluster, cost: CostModel, mode: ExecMode) -> Self {
@@ -63,12 +108,28 @@ impl IterationEngine {
             cost,
             mode,
             comm: CommAccounting::default(),
+            faults: FaultPlan::default(),
+            checkpoint_every: None,
         }
     }
 
     /// Selects the communication accounting (see [`CommAccounting`]).
     pub fn with_comm_accounting(mut self, comm: CommAccounting) -> Self {
         self.comm = comm;
+        self
+    }
+
+    /// Injects faults from `plan` during the run (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Checkpoints machine state every `every` supersteps (`every` must be
+    /// positive). Without this, recovery replays from the initial state.
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = Some(every);
         self
     }
 
@@ -86,8 +147,30 @@ impl IterationEngine {
         &self.cluster
     }
 
-    /// Runs `program` to completion and returns values plus telemetry.
+    /// Runs `program` to completion; panics (re-raising the original
+    /// payload) on an unrecoverable machine failure. See
+    /// [`try_run`](IterationEngine::try_run) for the fallible form.
     pub fn run<P: VertexProgram>(&self, program: &P) -> EngineRun<P::Value> {
+        match self.try_run(program) {
+            Ok(run) => run,
+            Err(UnrecoverableFailure {
+                failure: MachineFailure::Panic(payload),
+                ..
+            }) => std::panic::resume_unwind(payload),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs `program` to completion and returns values plus telemetry,
+    /// surviving injected faults via checkpoint rollback and replay.
+    ///
+    /// Returns `Err` only when recovery cannot make progress: a machine
+    /// fails (panics) at the same superstep on the replay attempt too,
+    /// which a deterministic program would repeat forever.
+    pub fn try_run<P: VertexProgram>(
+        &self,
+        program: &P,
+    ) -> Result<EngineRun<P::Value>, UnrecoverableFailure> {
         let graph = self.cluster.graph();
         let n = graph.num_vertices();
         let k = self.cluster.num_machines();
@@ -116,85 +199,137 @@ impl IterationEngine {
             .collect();
 
         let telemetry = Telemetry::new();
-        let mut iterations = 0usize;
+        let mut faults = FaultState::new(self.faults.clone());
+        // The initial state is an implicit (free) checkpoint: recovery is
+        // always possible, even with checkpointing disabled.
+        let mut checkpoint = Checkpoint {
+            superstep: 0,
+            machines: snapshot(&states),
+        };
+        // `superstep` is the logical superstep being computed; it moves
+        // backwards on rollback. `high_water` marks how far the run has
+        // ever progressed, so replays can be flagged in telemetry.
+        let mut superstep = 0usize;
+        let mut high_water = 0usize;
+        let mut failures_at: HashMap<usize, u32> = HashMap::new();
+
+        // Shared recovery path for machine failures (panics): charge the
+        // restore, record the aborted superstep, roll back — or give up if
+        // this superstep already failed once before (deterministic replay
+        // would fail forever).
+        macro_rules! recover_or_bail {
+            ($machine:expr, $failure:expr, $compute:expr, $replaying:expr) => {{
+                let attempts = failures_at.entry(superstep).or_insert(0);
+                *attempts += 1;
+                if *attempts >= 2 {
+                    return Err(UnrecoverableFailure {
+                        superstep,
+                        machine: $machine,
+                        failure: $failure,
+                    });
+                }
+                let recovery = restore_time(&self.cost, &checkpoint);
+                telemetry.record(IterationRecord {
+                    compute: $compute,
+                    comm: vec![0.0; k],
+                    sent: vec![0; k],
+                    faults: 1,
+                    replay: $replaying,
+                    recovery,
+                });
+                rollback(&mut states, &checkpoint);
+                superstep = checkpoint.superstep;
+                continue;
+            }};
+        }
 
         loop {
             if let Some(max) = program.max_iterations() {
-                if iterations >= max {
+                if superstep >= max {
                     break;
                 }
             }
+            let replaying = superstep < high_water;
+
             // Global aggregate over current values (e.g. PR dangling mass).
-            let aggregate: f64 = for_each_machine(self.mode, &mut states, |m, s| {
+            let agg_results = for_each_machine(self.mode, &mut states, |m, s| {
                 self.cluster
                     .local_vertices(m)
                     .iter()
                     .zip(&s.values)
                     .map(|(&v, val)| program.aggregate(v, val, graph))
                     .sum::<f64>()
-            })
-            .into_iter()
-            .sum();
+            });
+            let aggregate: f64 = match collect_results(agg_results) {
+                Ok(parts) => parts.into_iter().sum(),
+                Err((machine, failure)) => {
+                    recover_or_bail!(machine, failure, vec![0.0; k], replaying)
+                }
+            };
 
             // ---- scatter phase -------------------------------------------------
             let cluster = &self.cluster;
             type ScatterOut<A> = (Vec<Vec<(VertexId, A)>>, Vec<u64>, WorkUnits, bool);
-            let scatter_out: Vec<ScatterOut<P::Accum>> =
-                for_each_machine(self.mode, &mut states, |m, s| {
-                    let mut work = WorkUnits::default();
-                    let members = cluster.local_vertices(m);
-                    let mut any_active = false;
-                    // Raw (uncombined) cross-machine updates per destination:
-                    // the network payload a Pregel-style system would ship.
-                    // Messages are still delivered combined, but the paper
-                    // attributes communication cost to edge cuts (§4.5), so
-                    // the cost model charges per raw remote update.
-                    let mut raw = vec![0u64; cluster.num_machines()];
-                    for (li, &u) in members.iter().enumerate() {
-                        if !s.active[li] {
-                            continue;
+            let scatter_results = for_each_machine(self.mode, &mut states, |m, s| {
+                let mut work = WorkUnits::default();
+                let members = cluster.local_vertices(m);
+                let mut any_active = false;
+                // Raw (uncombined) cross-machine updates per destination:
+                // the network payload a Pregel-style system would ship.
+                // Messages are still delivered combined, but the paper
+                // attributes communication cost to edge cuts (§4.5), so
+                // the cost model charges per raw remote update.
+                let mut raw = vec![0u64; cluster.num_machines()];
+                for (li, &u) in members.iter().enumerate() {
+                    if !s.active[li] {
+                        continue;
+                    }
+                    any_active = true;
+                    let Some(signal) = program.scatter(u, &s.values[li], graph) else {
+                        continue;
+                    };
+                    let out = graph.out_neighbors(u);
+                    work.edges_scanned += out.len() as u64;
+                    for &v in out {
+                        let dest = cluster.owner(v);
+                        if dest != m {
+                            raw[dest as usize] += 1;
                         }
-                        any_active = true;
-                        let Some(signal) = program.scatter(u, &s.values[li], graph) else {
-                            continue;
-                        };
-                        let out = graph.out_neighbors(u);
-                        work.edges_scanned += out.len() as u64;
-                        for &v in out {
+                        accumulate::<P>(program, s, v, signal.clone());
+                    }
+                    if program.use_in_edges() {
+                        let inn = graph.in_neighbors(u);
+                        work.edges_scanned += inn.len() as u64;
+                        for &v in inn {
                             let dest = cluster.owner(v);
                             if dest != m {
                                 raw[dest as usize] += 1;
                             }
                             accumulate::<P>(program, s, v, signal.clone());
                         }
-                        if program.use_in_edges() {
-                            let inn = graph.in_neighbors(u);
-                            work.edges_scanned += inn.len() as u64;
-                            for &v in inn {
-                                let dest = cluster.owner(v);
-                                if dest != m {
-                                    raw[dest as usize] += 1;
-                                }
-                                accumulate::<P>(program, s, v, signal.clone());
-                            }
-                        }
                     }
-                    // Drain the dense accumulator into per-destination
-                    // combined messages (sender-side combining).
-                    s.touched.sort_unstable();
-                    let mut outbox: Vec<Vec<(VertexId, P::Accum)>> =
-                        (0..cluster.num_machines()).map(|_| Vec::new()).collect();
-                    for &v in &s.touched {
-                        let acc = s.acc[v as usize]
-                            .take()
-                            .expect("touched implies accumulated");
-                        outbox[cluster.owner(v) as usize].push((v, acc));
-                    }
-                    s.touched.clear();
-                    (outbox, raw, work, any_active)
-                });
+                }
+                // Drain the dense accumulator into per-destination
+                // combined messages (sender-side combining).
+                s.touched.sort_unstable();
+                let mut outbox: Vec<Vec<(VertexId, P::Accum)>> =
+                    (0..cluster.num_machines()).map(|_| Vec::new()).collect();
+                for &v in &s.touched {
+                    let acc = s.acc[v as usize]
+                        .take()
+                        .expect("touched implies accumulated");
+                    outbox[cluster.owner(v) as usize].push((v, acc));
+                }
+                s.touched.clear();
+                (outbox, raw, work, any_active)
+            });
+            let scatter_out: Vec<ScatterOut<P::Accum>> = match collect_results(scatter_results) {
+                Ok(out) => out,
+                Err((machine, failure)) => {
+                    recover_or_bail!(machine, failure, vec![0.0; k], replaying)
+                }
+            };
 
-            let any_scatter_active = scatter_out.iter().any(|(_, _, _, a)| *a);
             let mut compute: Vec<f64> = scatter_out
                 .iter()
                 .map(|(_, _, w, _)| self.cost.compute_time(w))
@@ -209,6 +344,28 @@ impl IterationEngine {
                 }
             }
 
+            // ---- the exchange barrier: injected crashes fire here --------------
+            let crashed = faults.take_crashes(superstep);
+            if !crashed.is_empty() {
+                // The computation phase ran and is wasted; the exchange
+                // never completes, so no communication is charged.
+                for (m, c) in compute.iter_mut().enumerate() {
+                    *c *= faults.compute_factor(superstep, m as MachineId);
+                }
+                let recovery = restore_time(&self.cost, &checkpoint);
+                telemetry.record(IterationRecord {
+                    compute,
+                    comm: vec![0.0; k],
+                    sent: vec![0; k],
+                    faults: crashed.len() as u64,
+                    replay: replaying,
+                    recovery,
+                });
+                rollback(&mut states, &checkpoint);
+                superstep = checkpoint.superstep;
+                continue;
+            }
+
             // ---- exchange ------------------------------------------------------
             let mut router: Router<(VertexId, P::Accum)> = Router::new(k);
             router.put_rows(
@@ -219,105 +376,152 @@ impl IterationEngine {
             );
             // Self-addressed updates stay machine-local: they are not
             // network messages. Pull them out before counting.
-            {
-                let rows = router.take_rows();
-                let mut cleaned = Vec::with_capacity(k);
-                let mut local_rows: Vec<Vec<(VertexId, P::Accum)>> = Vec::with_capacity(k);
-                for (m, mut row) in rows.into_iter().enumerate() {
-                    let own = std::mem::take(&mut row[m]);
-                    local_rows.push(own);
-                    cleaned.push(row);
-                }
-                router.put_rows(cleaned);
-                // Deliver local updates by re-staging them post-exchange.
-                let mut ex = router.exchange();
-                for (m, own) in local_rows.into_iter().enumerate() {
-                    // Local messages are applied with the same mechanism but
-                    // cost nothing on the network.
-                    ex.inboxes[m].extend(own);
-                }
+            let rows = router.take_rows();
+            let mut cleaned = Vec::with_capacity(k);
+            let mut local_rows: Vec<Vec<(VertexId, P::Accum)>> = Vec::with_capacity(k);
+            for (m, mut row) in rows.into_iter().enumerate() {
+                let own = std::mem::take(&mut row[m]);
+                local_rows.push(own);
+                cleaned.push(row);
+            }
+            router.put_rows(cleaned);
 
-                // ---- apply phase ----------------------------------------------
-                let ctx = ProgramContext {
-                    iteration: iterations,
-                    num_vertices: n,
-                    aggregate,
-                };
-                let inboxes = std::mem::take(&mut ex.inboxes);
-                let mut inbox_iter = inboxes.into_iter();
-                let mut any_active_next = false;
-                // Sequential over machines for inbox handoff; the per-machine
-                // apply loops are the heavy part and stay identical in both
-                // exec modes.
-                let apply_results: Vec<(WorkUnits, bool)> = {
-                    let mut results = Vec::with_capacity(k);
-                    for (m, s) in states.iter_mut().enumerate() {
-                        let inbox = inbox_iter.next().expect("one inbox per machine");
-                        // Merge all incoming signals into the dense accumulator.
-                        for (v, a) in inbox {
-                            accumulate::<P>(program, s, v, a);
+            // Link faults act on the wire payload (the combined messages
+            // actually staged): drops cost the sender a retransmission,
+            // duplicates cost the receiver a discarded copy. Payloads
+            // still arrive exactly once, so values are unaffected.
+            let mut drop_extra_sent = vec![0u64; k];
+            let mut dup_extra_received = vec![0u64; k];
+            let mut link_events = 0u64;
+            if !self.faults.is_empty() {
+                let staged = router.staged_matrix();
+                for (from, row) in staged.iter().enumerate() {
+                    for (to, &count) in row.iter().enumerate() {
+                        if count == 0 {
+                            continue;
                         }
-                        let mut work = WorkUnits::default();
-                        let mut any = false;
-                        let members = cluster.local_vertices(m as u32);
-                        if program.apply_to_all() {
-                            for (li, &v) in members.iter().enumerate() {
-                                let incoming = s.acc[v as usize].take();
-                                let active =
-                                    program.apply(v, &mut s.values[li], incoming, &ctx, graph);
-                                s.active[li] = active;
-                                any |= active;
-                                work.vertices_updated += 1;
-                            }
-                            s.touched.clear();
-                        } else {
-                            // Only signalled vertices update; everyone else
-                            // goes (or stays) inactive.
-                            s.active.iter_mut().for_each(|a| *a = false);
-                            s.touched.sort_unstable();
-                            for ti in 0..s.touched.len() {
-                                let v = s.touched[ti];
-                                let li = local_of[v as usize] as usize;
-                                let incoming = s.acc[v as usize].take();
-                                let active =
-                                    program.apply(v, &mut s.values[li], incoming, &ctx, graph);
-                                s.active[li] = active;
-                                any |= active;
-                                work.vertices_updated += 1;
-                            }
-                            s.touched.clear();
-                        }
-                        results.push((work, any));
+                        let overhead = faults.link_overhead(
+                            superstep,
+                            from as MachineId,
+                            to as MachineId,
+                            count,
+                        );
+                        drop_extra_sent[from] += overhead.dropped;
+                        dup_extra_received[to] += overhead.duplicated;
+                        link_events += overhead.total();
                     }
-                    results
-                };
-                for (m, (work, any)) in apply_results.iter().enumerate() {
-                    compute[m] += self.cost.compute_time(work);
-                    any_active_next |= any;
                 }
+            }
 
-                // ---- telemetry ------------------------------------------------
-                let (sent_counts, recv_counts) = match self.comm {
-                    CommAccounting::PerEdgeUpdate => (raw_sent.clone(), raw_received.clone()),
-                    CommAccounting::Combined => (ex.sent.clone(), ex.received.clone()),
-                };
-                let comm: Vec<f64> = (0..k)
-                    .map(|m| self.cost.comm_time(sent_counts[m], recv_counts[m]))
-                    .collect();
-                telemetry.record(IterationRecord {
-                    compute,
-                    comm,
-                    sent: sent_counts,
-                });
+            // Deliver local updates by re-staging them post-exchange.
+            let mut ex = router.exchange();
+            for (m, own) in local_rows.into_iter().enumerate() {
+                // Local messages are applied with the same mechanism but
+                // cost nothing on the network.
+                ex.inboxes[m].extend(own);
+            }
 
-                iterations += 1;
-                // Quiescence: once no vertex is active, no future superstep
-                // can change any state — stop regardless of the iteration
-                // cap (which is only an upper bound).
-                if !any_active_next {
-                    break;
+            // ---- apply phase ----------------------------------------------
+            let ctx = ProgramContext {
+                iteration: superstep,
+                num_vertices: n,
+                aggregate,
+            };
+            let inboxes = std::mem::take(&mut ex.inboxes);
+            let mut inbox_iter = inboxes.into_iter();
+            let mut any_active_next = false;
+            // Sequential over machines for inbox handoff; the per-machine
+            // apply loops are the heavy part and stay identical in both
+            // exec modes.
+            let apply_results: Vec<(WorkUnits, bool)> = {
+                let mut results = Vec::with_capacity(k);
+                for (m, s) in states.iter_mut().enumerate() {
+                    let inbox = inbox_iter.next().expect("one inbox per machine");
+                    // Merge all incoming signals into the dense accumulator.
+                    for (v, a) in inbox {
+                        accumulate::<P>(program, s, v, a);
+                    }
+                    let mut work = WorkUnits::default();
+                    let mut any = false;
+                    let members = cluster.local_vertices(m as u32);
+                    if program.apply_to_all() {
+                        for (li, &v) in members.iter().enumerate() {
+                            let incoming = s.acc[v as usize].take();
+                            let active = program.apply(v, &mut s.values[li], incoming, &ctx, graph);
+                            s.active[li] = active;
+                            any |= active;
+                            work.vertices_updated += 1;
+                        }
+                        s.touched.clear();
+                    } else {
+                        // Only signalled vertices update; everyone else
+                        // goes (or stays) inactive.
+                        s.active.iter_mut().for_each(|a| *a = false);
+                        s.touched.sort_unstable();
+                        for ti in 0..s.touched.len() {
+                            let v = s.touched[ti];
+                            let li = local_of[v as usize] as usize;
+                            let incoming = s.acc[v as usize].take();
+                            let active = program.apply(v, &mut s.values[li], incoming, &ctx, graph);
+                            s.active[li] = active;
+                            any |= active;
+                            work.vertices_updated += 1;
+                        }
+                        s.touched.clear();
+                    }
+                    results.push((work, any));
                 }
-                let _ = any_scatter_active;
+                results
+            };
+            for (m, (work, any)) in apply_results.iter().enumerate() {
+                compute[m] += self.cost.compute_time(work);
+                any_active_next |= any;
+            }
+
+            // ---- checkpoint -----------------------------------------------
+            if let Some(every) = self.checkpoint_every {
+                if (superstep + 1) % every == 0 {
+                    checkpoint = Checkpoint {
+                        superstep: superstep + 1,
+                        machines: snapshot(&states),
+                    };
+                    for (m, s) in states.iter().enumerate() {
+                        compute[m] += self.cost.checkpoint_time(s.values.len() as u64);
+                    }
+                }
+            }
+
+            // ---- telemetry ------------------------------------------------
+            for (m, c) in compute.iter_mut().enumerate() {
+                *c *= faults.compute_factor(superstep, m as MachineId);
+            }
+            let (mut sent_counts, mut recv_counts) = match self.comm {
+                CommAccounting::PerEdgeUpdate => (raw_sent.clone(), raw_received.clone()),
+                CommAccounting::Combined => (ex.sent.clone(), ex.received.clone()),
+            };
+            for m in 0..k {
+                sent_counts[m] += drop_extra_sent[m];
+                recv_counts[m] += dup_extra_received[m];
+            }
+            let comm: Vec<f64> = (0..k)
+                .map(|m| self.cost.comm_time(sent_counts[m], recv_counts[m]))
+                .collect();
+            telemetry.record(IterationRecord {
+                compute,
+                comm,
+                sent: sent_counts,
+                faults: link_events,
+                replay: replaying,
+                recovery: 0.0,
+            });
+
+            superstep += 1;
+            high_water = high_water.max(superstep);
+            // Quiescence: once no vertex is active, no future superstep
+            // can change any state — stop regardless of the iteration
+            // cap (which is only an upper bound).
+            if !any_active_next {
+                break;
             }
         }
 
@@ -328,15 +532,25 @@ impl IterationEngine {
                 values[*v as usize] = Some(s.values[li].clone());
             }
         }
-        EngineRun {
+        Ok(EngineRun {
             values: values
                 .into_iter()
                 .map(|v| v.expect("every vertex owned"))
                 .collect(),
             telemetry,
-            iterations,
-        }
+            iterations: superstep,
+        })
     }
+}
+
+/// Modelled time to restore every machine from `checkpoint` (machines
+/// restore in parallel, so the stall is the slowest restore).
+fn restore_time<V>(cost: &CostModel, checkpoint: &Checkpoint<V>) -> f64 {
+    checkpoint
+        .machines
+        .iter()
+        .map(|(values, _)| cost.checkpoint_time(values.len() as u64))
+        .fold(0.0, f64::max)
 }
 
 /// Folds `a` into machine state's dense accumulator for target `v`.
@@ -395,6 +609,42 @@ mod tests {
         }
         fn max_iterations(&self) -> Option<usize> {
             Some(1)
+        }
+    }
+
+    /// PushOnce, but runs for a configurable number of iterations so
+    /// crash/checkpoint schedules have room to fire.
+    struct PushMany(usize);
+    impl VertexProgram for PushMany {
+        type Value = u64;
+        type Accum = u64;
+        fn init(&self, _v: VertexId, _g: &CsrGraph) -> u64 {
+            1
+        }
+        fn initially_active(&self, _v: VertexId, _g: &CsrGraph) -> bool {
+            true
+        }
+        fn scatter(&self, _u: VertexId, value: &u64, _g: &CsrGraph) -> Option<u64> {
+            Some(*value)
+        }
+        fn combine(&self, a: &mut u64, b: u64) {
+            *a += b;
+        }
+        fn apply(
+            &self,
+            _v: VertexId,
+            value: &mut u64,
+            incoming: Option<u64>,
+            ctx: &ProgramContext,
+            _g: &CsrGraph,
+        ) -> bool {
+            if let Some(sum) = incoming {
+                *value = value.wrapping_add(sum);
+            }
+            ctx.iteration + 1 < self.0
+        }
+        fn max_iterations(&self) -> Option<usize> {
+            Some(self.0)
         }
     }
 
@@ -481,5 +731,198 @@ mod tests {
         )
         .run(&PushOnce);
         assert_eq!(seq.values, thr.values);
+    }
+
+    fn faulted_engine(
+        graph: &Arc<CsrGraph>,
+        k: usize,
+        plan: FaultPlan,
+        checkpoint_every: Option<usize>,
+    ) -> IterationEngine {
+        let partition = Arc::new(ChunkV.partition(graph, k));
+        let mut e = IterationEngine::default_for(graph.clone(), partition).with_faults(plan);
+        if let Some(every) = checkpoint_every {
+            e = e.with_checkpoint_every(every);
+        }
+        e
+    }
+
+    #[test]
+    fn crash_recovery_reproduces_fault_free_values() {
+        let graph = Arc::new(generate::erdos_renyi(120, 800, 3));
+        let clean = faulted_engine(&graph, 4, FaultPlan::new(), None).run(&PushMany(6));
+        for checkpoint_every in [None, Some(2), Some(4)] {
+            let plan = FaultPlan::new().crash(3, 1);
+            let faulted = faulted_engine(&graph, 4, plan, checkpoint_every).run(&PushMany(6));
+            assert_eq!(clean.values, faulted.values, "ckpt {checkpoint_every:?}");
+            assert_eq!(clean.iterations, faulted.iterations);
+            assert_eq!(faulted.telemetry.total_faults(), 1);
+            assert!(
+                faulted.telemetry.replayed_supersteps() > 0,
+                "rollback past completed supersteps must show as replays"
+            );
+            assert!(faulted.telemetry.total_recovery_time() > 0.0);
+            assert!(faulted.telemetry.total_time() > clean.telemetry.total_time());
+        }
+    }
+
+    #[test]
+    fn checkpoint_interval_bounds_replay_distance() {
+        let graph = Arc::new(generate::erdos_renyi(80, 500, 4));
+        let crash_at = 5usize;
+        for (every, expected_replays) in [(None, 5), (Some(1), 0), (Some(2), 1), (Some(4), 1)] {
+            let run = faulted_engine(&graph, 4, FaultPlan::new().crash(crash_at, 0), every)
+                .run(&PushMany(6));
+            // Rollback lands on the last checkpoint at or below the crash
+            // superstep; everything between is re-executed as a replay.
+            assert_eq!(
+                run.telemetry.replayed_supersteps(),
+                expected_replays,
+                "every={every:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_crashes_and_exec_modes_agree() {
+        let graph = Arc::new(generate::erdos_renyi(100, 700, 8));
+        let partition = Arc::new(ChunkV.partition(&graph, 4));
+        let plan = FaultPlan::new().crash(1, 0).crash(3, 2).crash(3, 3);
+        let clean =
+            IterationEngine::default_for(graph.clone(), partition.clone()).run(&PushMany(5));
+        let seq = IterationEngine::new(
+            Cluster::new(graph.clone(), partition.clone()),
+            CostModel::default(),
+            ExecMode::Sequential,
+        )
+        .with_faults(plan.clone())
+        .with_checkpoint_every(2)
+        .run(&PushMany(5));
+        let thr = IterationEngine::new(
+            Cluster::new(graph.clone(), partition),
+            CostModel::default(),
+            ExecMode::Threaded,
+        )
+        .with_faults(plan)
+        .with_checkpoint_every(2)
+        .run(&PushMany(5));
+        assert_eq!(clean.values, seq.values);
+        assert_eq!(seq.values, thr.values);
+        assert_eq!(seq.telemetry.total_faults(), 3);
+        assert_eq!(thr.telemetry.total_faults(), 3);
+        assert_eq!(
+            seq.telemetry.replayed_supersteps(),
+            thr.telemetry.replayed_supersteps()
+        );
+        assert_eq!(seq.telemetry.total_time(), thr.telemetry.total_time());
+    }
+
+    #[test]
+    fn stragglers_slow_the_clock_but_not_the_answer() {
+        let graph = Arc::new(generate::erdos_renyi(100, 600, 2));
+        let clean = faulted_engine(&graph, 4, FaultPlan::new(), None).run(&PushMany(4));
+        let slow = faulted_engine(&graph, 4, FaultPlan::new().straggler(0, 9, 2, 8.0), None)
+            .run(&PushMany(4));
+        assert_eq!(clean.values, slow.values);
+        assert_eq!(slow.telemetry.total_faults(), 0);
+        assert!(slow.telemetry.total_time() > clean.telemetry.total_time());
+        assert!(slow.telemetry.waiting_ratio() > clean.telemetry.waiting_ratio());
+    }
+
+    #[test]
+    fn link_faults_charge_retransmissions_without_changing_values() {
+        let graph = Arc::new(generate::complete(32));
+        let clean = faulted_engine(&graph, 4, FaultPlan::new(), None).run(&PushMany(3));
+        let lossy = faulted_engine(
+            &graph,
+            4,
+            FaultPlan::new()
+                .with_seed(5)
+                .drop_link(0, 9, 0, 1, 0.5)
+                .duplicate_link(0, 9, 2, 3, 0.5),
+            None,
+        )
+        .run(&PushMany(3));
+        assert_eq!(clean.values, lossy.values);
+        assert!(lossy.telemetry.total_faults() > 0);
+        assert!(lossy.telemetry.total_messages() > clean.telemetry.total_messages());
+        assert!(lossy.telemetry.total_time() > clean.telemetry.total_time());
+    }
+
+    #[test]
+    fn fault_free_runs_are_unchanged_by_the_fault_machinery() {
+        let graph = Arc::new(generate::erdos_renyi(90, 500, 6));
+        let a = faulted_engine(&graph, 3, FaultPlan::new(), None).run(&PushMany(4));
+        let b = faulted_engine(&graph, 3, FaultPlan::new().crash(100, 0), None).run(&PushMany(4));
+        // A crash scheduled past the end of the run never fires.
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.telemetry.total_time(), b.telemetry.total_time());
+        assert_eq!(b.telemetry.total_faults(), 0);
+        assert_eq!(b.telemetry.replayed_supersteps(), 0);
+    }
+
+    /// A program whose scatter panics on one machine's vertex range at a
+    /// chosen iteration — once, or persistently.
+    struct PanicAt {
+        vertex: VertexId,
+        iterations: usize,
+    }
+    impl VertexProgram for PanicAt {
+        type Value = u64;
+        type Accum = u64;
+        fn init(&self, _v: VertexId, _g: &CsrGraph) -> u64 {
+            1
+        }
+        fn initially_active(&self, _v: VertexId, _g: &CsrGraph) -> bool {
+            true
+        }
+        fn scatter(&self, u: VertexId, value: &u64, _g: &CsrGraph) -> Option<u64> {
+            if u == self.vertex {
+                panic!("scatter bug on vertex {u}");
+            }
+            Some(*value)
+        }
+        fn combine(&self, a: &mut u64, b: u64) {
+            *a += b;
+        }
+        fn apply(
+            &self,
+            _v: VertexId,
+            value: &mut u64,
+            incoming: Option<u64>,
+            _ctx: &ProgramContext,
+            _g: &CsrGraph,
+        ) -> bool {
+            if let Some(sum) = incoming {
+                *value += sum;
+            }
+            true
+        }
+        fn max_iterations(&self) -> Option<usize> {
+            Some(self.iterations)
+        }
+    }
+
+    #[test]
+    fn deterministic_panic_surfaces_as_unrecoverable_failure() {
+        let graph = Arc::new(generate::ring(12));
+        let partition = Arc::new(ChunkV.partition(&graph, 3));
+        for mode in [ExecMode::Sequential, ExecMode::Threaded] {
+            let engine = IterationEngine::new(
+                Cluster::new(graph.clone(), partition.clone()),
+                CostModel::default(),
+                mode,
+            );
+            let err = engine
+                .try_run(&PanicAt {
+                    vertex: 7,
+                    iterations: 3,
+                })
+                .unwrap_err();
+            // Vertex 7 lives on machine 1 (ChunkV over 12 vertices / 3).
+            assert_eq!(err.machine, 1);
+            assert_eq!(err.superstep, 0);
+            assert_eq!(err.failure.panic_message(), Some("scatter bug on vertex 7"));
+        }
     }
 }

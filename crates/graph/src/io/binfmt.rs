@@ -20,6 +20,16 @@ use std::io::{BufReader, BufWriter, Read, Write};
 const MAGIC: [u8; 4] = *b"BPGR";
 const VERSION: u32 = 1;
 
+/// Vertex ids are `u32`, so any valid file has `n <= u32::MAX`; a larger
+/// count is corrupt (and would otherwise drive a multi-gigabyte
+/// allocation before the first offset is even read).
+const MAX_VERTICES: u64 = u32::MAX as u64;
+
+/// Untrusted header counts reserve at most this many elements up front;
+/// larger arrays grow as data actually arrives, so a corrupt count on a
+/// short file fails with a clean read error instead of an OOM abort.
+const MAX_PREALLOC: usize = 1 << 20;
+
 /// Serializes a graph to the binary CSR format.
 pub fn write_binary<W: Write>(graph: &CsrGraph, writer: W) -> Result<(), GraphError> {
     let mut bw = BufWriter::new(writer);
@@ -50,10 +60,16 @@ pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
     if version != VERSION {
         return Err(GraphError::Format(format!("unsupported version {version}")));
     }
-    let n = read_u64(&mut br)? as usize;
+    let n64 = read_u64(&mut br)?;
+    if n64 > MAX_VERTICES {
+        return Err(GraphError::Format(format!(
+            "vertex count {n64} exceeds the u32 id space"
+        )));
+    }
+    let n = n64 as usize;
     let m = read_u64(&mut br)? as usize;
 
-    let mut offsets = Vec::with_capacity(n + 1);
+    let mut offsets = Vec::with_capacity((n + 1).min(MAX_PREALLOC));
     for _ in 0..=n {
         offsets.push(read_u64(&mut br)?);
     }
@@ -65,7 +81,7 @@ pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
             return Err(GraphError::Format("offsets not monotone".into()));
         }
     }
-    let mut targets: Vec<VertexId> = Vec::with_capacity(m);
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m.min(MAX_PREALLOC));
     for _ in 0..m {
         let t = read_u32(&mut br)?;
         if t as usize >= n {
@@ -145,6 +161,63 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    /// Byte offset of `offsets[i]` in the file layout.
+    fn offset_pos(i: usize) -> usize {
+        4 + 4 + 8 + 8 + i * 8
+    }
+
+    #[test]
+    fn non_monotone_offsets_rejected() {
+        let g = generate::ring(4); // offsets [0, 1, 2, 3, 4]
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[offset_pos(1)..offset_pos(2)].copy_from_slice(&3u64.to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    fn offset_endpoint_mismatching_m_rejected() {
+        let g = generate::ring(4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[offset_pos(4)..offset_pos(5)].copy_from_slice(&5u64.to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("endpoints invalid"), "{err}");
+    }
+
+    #[test]
+    fn oversized_vertex_count_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"BPGR");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(u32::MAX as u64 + 1).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("u32 id space"), "{err}");
+    }
+
+    #[test]
+    fn huge_counts_on_a_short_file_fail_cleanly() {
+        // A header promising ~u64::MAX elements with no data behind it
+        // must produce a read error, not an out-of-memory abort from a
+        // trusting pre-allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"BPGR");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(u32::MAX as u64).to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // offsets[0], then EOF
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(read_binary(&b"BPGR\x01\x00"[..]).is_err());
+        assert!(read_binary(&b"BP"[..]).is_err());
+        assert!(read_binary(&b""[..]).is_err());
     }
 
     #[test]

@@ -4,12 +4,24 @@
 //! synchronous stepping). A walker whose new vertex belongs to another
 //! machine is transmitted at the barrier — the "message walks" the paper
 //! counts in Fig. 5b.
+//!
+//! Fault tolerance mirrors the iteration engine: under a [`FaultPlan`],
+//! machine crashes at the barrier roll all machines back to the last
+//! checkpoint (in-flight walker queues, path logs, and step counters)
+//! and replay. Each walker carries its own RNG, so replays reproduce the
+//! exact trajectories — recorded paths are bitwise-identical to a
+//! fault-free run, and only telemetry shows the recovery work.
 
 use crate::walker::{WalkApp, Walker};
-use bpart_cluster::exec::{for_each_machine, ExecMode};
-use bpart_cluster::{Cluster, CostModel, IterationRecord, Router, Telemetry, WorkUnits};
+use bpart_cluster::exec::{collect_results, for_each_machine, ExecMode};
+use bpart_cluster::MachineId;
+use bpart_cluster::{
+    Cluster, CostModel, FaultPlan, FaultState, IterationRecord, MachineFailure, Router, Telemetry,
+    UnrecoverableFailure, WorkUnits,
+};
 use bpart_core::Partition;
 use bpart_graph::{CsrGraph, VertexId};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Where walks start.
@@ -27,12 +39,13 @@ pub enum WalkStarts {
 pub struct WalkRun {
     /// Per-iteration, per-machine records (compute = steps executed).
     pub telemetry: Telemetry,
-    /// Total walker steps executed across all machines.
+    /// Total walker steps executed across all machines (logical: wasted
+    /// and replayed steps count once — see the telemetry for those).
     pub total_steps: u64,
     /// Total walkers transmitted between machines (the paper's "message
     /// walks").
     pub message_walks: u64,
-    /// Number of supersteps executed.
+    /// Number of (logical) supersteps executed.
     pub iterations: usize,
     /// Recorded walk paths (walker id -> visited vertices, including the
     /// start), present when the engine was built with recording on.
@@ -45,6 +58,8 @@ pub struct WalkEngine {
     cost: CostModel,
     mode: ExecMode,
     record_paths: bool,
+    faults: FaultPlan,
+    checkpoint_every: Option<usize>,
 }
 
 /// Per-machine state: the local walker queue plus a local path log.
@@ -52,6 +67,18 @@ struct MachineState {
     queue: Vec<Walker>,
     /// `(walker id, step index, vertex)` triples, merged after the run.
     path_log: Vec<(u64, u32, VertexId)>,
+}
+
+/// One machine's checkpointed state: its walker queue plus its path log.
+type MachineSnapshot = (Vec<Walker>, Vec<(u64, u32, VertexId)>);
+
+/// A consistent snapshot of the whole walk computation at a superstep
+/// boundary: per-machine queues/logs plus the global counters.
+struct Checkpoint {
+    superstep: usize,
+    machines: Vec<MachineSnapshot>,
+    total_steps: u64,
+    message_walks: u64,
 }
 
 impl WalkEngine {
@@ -62,6 +89,8 @@ impl WalkEngine {
             cost,
             mode,
             record_paths: false,
+            faults: FaultPlan::default(),
+            checkpoint_every: None,
         }
     }
 
@@ -80,13 +109,51 @@ impl WalkEngine {
         self
     }
 
+    /// Injects faults from `plan` during the run (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Checkpoints in-flight walker state every `every` supersteps
+    /// (`every` must be positive). Without this, recovery replays the
+    /// whole walk from its starts.
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = Some(every);
+        self
+    }
+
     /// The underlying cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
     }
 
-    /// Runs `app` from the given starts under `seed`.
+    /// Runs `app` from the given starts under `seed`; panics (re-raising
+    /// the original payload) on an unrecoverable machine failure. See
+    /// [`try_run`](WalkEngine::try_run) for the fallible form.
     pub fn run<A: WalkApp + ?Sized>(&self, app: &A, starts: &WalkStarts, seed: u64) -> WalkRun {
+        match self.try_run(app, starts, seed) {
+            Ok(run) => run,
+            Err(UnrecoverableFailure {
+                failure: MachineFailure::Panic(payload),
+                ..
+            }) => std::panic::resume_unwind(payload),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs `app` from the given starts under `seed`, surviving injected
+    /// faults via checkpoint rollback and replay.
+    ///
+    /// Returns `Err` only when recovery cannot make progress (a machine
+    /// panics at the same superstep on the replay attempt too).
+    pub fn try_run<A: WalkApp + ?Sized>(
+        &self,
+        app: &A,
+        starts: &WalkStarts,
+        seed: u64,
+    ) -> Result<WalkRun, UnrecoverableFailure> {
         let graph = self.cluster.graph();
         let k = self.cluster.num_machines();
 
@@ -121,73 +188,199 @@ impl WalkEngine {
         let telemetry = Telemetry::new();
         let mut total_steps = 0u64;
         let mut message_walks = 0u64;
-        let mut iterations = 0usize;
+        let mut faults = FaultState::new(self.faults.clone());
+        // The seeded start state is an implicit (free) checkpoint.
+        let mut checkpoint = Checkpoint {
+            superstep: 0,
+            machines: snapshot(&states),
+            total_steps: 0,
+            message_walks: 0,
+        };
+        let mut superstep = 0usize;
+        let mut high_water = 0usize;
+        let mut failures_at: HashMap<usize, u32> = HashMap::new();
 
         loop {
             let active: usize = states.iter().map(|s| s.queue.len()).sum();
             if active == 0 {
                 break;
             }
+            let replaying = superstep < high_water;
             let cluster = &self.cluster;
             let record = self.record_paths;
             let max_steps = app.walk_length();
 
             // ---- one step per active walker -----------------------------------
-            let step_out: Vec<(Vec<Vec<Walker>>, WorkUnits)> =
-                for_each_machine(self.mode, &mut states, |m, s| {
-                    let mut work = WorkUnits::default();
-                    let mut outbox: Vec<Vec<Walker>> =
-                        (0..cluster.num_machines()).map(|_| Vec::new()).collect();
-                    let mut kept: Vec<Walker> = Vec::new();
-                    for mut walker in s.queue.drain(..) {
-                        debug_assert_eq!(cluster.owner(walker.current), m);
-                        let next = app.next(&mut walker, graph);
-                        work.steps += 1;
-                        let Some(next) = next else {
-                            continue; // walk over (dead end / stop decision)
-                        };
-                        walker.advance(next);
-                        if record {
-                            s.path_log.push((walker.id, walker.step, next));
-                        }
-                        if walker.step >= max_steps {
-                            continue; // reached full length
-                        }
-                        let dest = cluster.owner(next);
-                        if dest == m {
-                            kept.push(walker);
-                        } else {
-                            outbox[dest as usize].push(walker);
-                        }
+            let step_results = for_each_machine(self.mode, &mut states, |m, s| {
+                let mut work = WorkUnits::default();
+                let mut outbox: Vec<Vec<Walker>> =
+                    (0..cluster.num_machines()).map(|_| Vec::new()).collect();
+                let mut kept: Vec<Walker> = Vec::new();
+                for mut walker in s.queue.drain(..) {
+                    debug_assert_eq!(cluster.owner(walker.current), m);
+                    let next = app.next(&mut walker, graph);
+                    work.steps += 1;
+                    let Some(next) = next else {
+                        continue; // walk over (dead end / stop decision)
+                    };
+                    walker.advance(next);
+                    if record {
+                        s.path_log.push((walker.id, walker.step, next));
                     }
-                    s.queue = kept;
-                    (outbox, work)
-                });
+                    if walker.step >= max_steps {
+                        continue; // reached full length
+                    }
+                    let dest = cluster.owner(next);
+                    if dest == m {
+                        kept.push(walker);
+                    } else {
+                        outbox[dest as usize].push(walker);
+                    }
+                }
+                s.queue = kept;
+                (outbox, work)
+            });
+            let step_out: Vec<(Vec<Vec<Walker>>, WorkUnits)> = match collect_results(step_results) {
+                Ok(out) => out,
+                Err((machine, failure)) => {
+                    // A panicked machine has drained (part of) its queue;
+                    // the superstep cannot complete. Give up if the replay
+                    // attempt failed too, otherwise roll back and retry.
+                    let attempts = failures_at.entry(superstep).or_insert(0);
+                    *attempts += 1;
+                    if *attempts >= 2 {
+                        return Err(UnrecoverableFailure {
+                            superstep,
+                            machine,
+                            failure,
+                        });
+                    }
+                    let recovery = restore_time(&self.cost, &checkpoint);
+                    telemetry.record(IterationRecord {
+                        compute: vec![0.0; k],
+                        comm: vec![0.0; k],
+                        sent: vec![0; k],
+                        faults: 1,
+                        replay: replaying,
+                        recovery,
+                    });
+                    restore(
+                        &mut states,
+                        &checkpoint,
+                        &mut total_steps,
+                        &mut message_walks,
+                    );
+                    superstep = checkpoint.superstep;
+                    continue;
+                }
+            };
 
-            let compute: Vec<f64> = step_out
+            let mut compute: Vec<f64> = step_out
                 .iter()
                 .map(|(_, w)| self.cost.compute_time(w))
                 .collect();
-            total_steps += step_out.iter().map(|(_, w)| w.steps).sum::<u64>();
+            let steps_this_round: u64 = step_out.iter().map(|(_, w)| w.steps).sum();
+
+            // ---- the exchange barrier: injected crashes fire here --------------
+            let crashed = faults.take_crashes(superstep);
+            if !crashed.is_empty() {
+                // The stepping work is wasted; in-flight walkers on the
+                // crashed machine are lost, so everyone rolls back.
+                for (m, c) in compute.iter_mut().enumerate() {
+                    *c *= faults.compute_factor(superstep, m as MachineId);
+                }
+                let recovery = restore_time(&self.cost, &checkpoint);
+                telemetry.record(IterationRecord {
+                    compute,
+                    comm: vec![0.0; k],
+                    sent: vec![0; k],
+                    faults: crashed.len() as u64,
+                    replay: replaying,
+                    recovery,
+                });
+                restore(
+                    &mut states,
+                    &checkpoint,
+                    &mut total_steps,
+                    &mut message_walks,
+                );
+                superstep = checkpoint.superstep;
+                continue;
+            }
+
+            total_steps += steps_this_round;
 
             // ---- transmit migrating walkers ------------------------------------
             let mut router: Router<Walker> = Router::new(k);
             router.put_rows(step_out.into_iter().map(|(rows, _)| rows).collect());
+
+            // Link faults on walker transmissions: retransmitted drops and
+            // deduplicated duplicates cost time, never trajectories.
+            let mut drop_extra_sent = vec![0u64; k];
+            let mut dup_extra_received = vec![0u64; k];
+            let mut link_events = 0u64;
+            if !self.faults.is_empty() {
+                let staged = router.staged_matrix();
+                for (from, row) in staged.iter().enumerate() {
+                    for (to, &count) in row.iter().enumerate() {
+                        if count == 0 {
+                            continue;
+                        }
+                        let overhead = faults.link_overhead(
+                            superstep,
+                            from as MachineId,
+                            to as MachineId,
+                            count,
+                        );
+                        drop_extra_sent[from] += overhead.dropped;
+                        dup_extra_received[to] += overhead.duplicated;
+                        link_events += overhead.total();
+                    }
+                }
+            }
+
             let ex = router.exchange();
             message_walks += ex.sent.iter().sum::<u64>();
             for (m, inbox) in ex.inboxes.into_iter().enumerate() {
                 states[m].queue.extend(inbox);
             }
 
+            // ---- checkpoint -----------------------------------------------
+            if let Some(every) = self.checkpoint_every {
+                if (superstep + 1) % every == 0 {
+                    checkpoint = Checkpoint {
+                        superstep: superstep + 1,
+                        machines: snapshot(&states),
+                        total_steps,
+                        message_walks,
+                    };
+                    for (m, s) in states.iter().enumerate() {
+                        compute[m] += self.cost.checkpoint_time(s.queue.len() as u64);
+                    }
+                }
+            }
+
+            // ---- telemetry ------------------------------------------------
+            for (m, c) in compute.iter_mut().enumerate() {
+                *c *= faults.compute_factor(superstep, m as MachineId);
+            }
+            let sent: Vec<u64> = (0..k).map(|m| ex.sent[m] + drop_extra_sent[m]).collect();
             let comm: Vec<f64> = (0..k)
-                .map(|m| self.cost.comm_time(ex.sent[m], ex.received[m]))
+                .map(|m| {
+                    self.cost
+                        .comm_time(sent[m], ex.received[m] + dup_extra_received[m])
+                })
                 .collect();
             telemetry.record(IterationRecord {
                 compute,
                 comm,
-                sent: ex.sent,
+                sent,
+                faults: link_events,
+                replay: replaying,
+                recovery: 0.0,
             });
-            iterations += 1;
+            superstep += 1;
+            high_water = high_water.max(superstep);
         }
 
         // ---- merge recorded paths ----------------------------------------------
@@ -203,14 +396,47 @@ impl WalkEngine {
             paths
         });
 
-        WalkRun {
+        Ok(WalkRun {
             telemetry,
             total_steps,
             message_walks,
-            iterations,
+            iterations: superstep,
             paths,
-        }
+        })
     }
+}
+
+fn snapshot(states: &[MachineState]) -> Vec<MachineSnapshot> {
+    states
+        .iter()
+        .map(|s| (s.queue.clone(), s.path_log.clone()))
+        .collect()
+}
+
+/// Restores machine queues, path logs, and the run counters to
+/// `checkpoint` — replayed supersteps then re-accumulate them, keeping
+/// the logical totals identical to a fault-free run.
+fn restore(
+    states: &mut [MachineState],
+    checkpoint: &Checkpoint,
+    total_steps: &mut u64,
+    message_walks: &mut u64,
+) {
+    for (s, (queue, path_log)) in states.iter_mut().zip(&checkpoint.machines) {
+        s.queue.clone_from(queue);
+        s.path_log.clone_from(path_log);
+    }
+    *total_steps = checkpoint.total_steps;
+    *message_walks = checkpoint.message_walks;
+}
+
+/// Modelled time to restore every machine (in parallel) from `checkpoint`.
+fn restore_time(cost: &CostModel, checkpoint: &Checkpoint) -> f64 {
+    checkpoint
+        .machines
+        .iter()
+        .map(|(queue, _)| cost.checkpoint_time(queue.len() as u64))
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -324,5 +550,86 @@ mod tests {
         let max = load.iter().cloned().fold(0.0, f64::max);
         let min = load.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max > min * 2.0, "expected skewed load: {load:?}");
+    }
+
+    #[test]
+    fn crash_recovery_reproduces_fault_free_walks() {
+        let graph = Arc::new(generate::twitter_like().generate_scaled(0.01));
+        let starts = WalkStarts::PerVertex(1);
+        let app = SimpleRandomWalk::new(8);
+        let clean = engine(&graph, ChunkV, 4)
+            .with_recording()
+            .run(&app, &starts, 21);
+        for checkpoint_every in [None, Some(2), Some(3)] {
+            let mut faulted = engine(&graph, ChunkV, 4)
+                .with_recording()
+                .with_faults(FaultPlan::new().crash(5, 2));
+            if let Some(every) = checkpoint_every {
+                faulted = faulted.with_checkpoint_every(every);
+            }
+            let run = faulted.run(&app, &starts, 21);
+            assert_eq!(clean.paths, run.paths, "ckpt {checkpoint_every:?}");
+            assert_eq!(clean.total_steps, run.total_steps);
+            assert_eq!(clean.message_walks, run.message_walks);
+            assert_eq!(clean.iterations, run.iterations);
+            assert_eq!(run.telemetry.total_faults(), 1);
+            assert!(run.telemetry.replayed_supersteps() > 0);
+            assert!(run.telemetry.total_recovery_time() > 0.0);
+        }
+    }
+
+    #[test]
+    fn faulted_exec_modes_agree() {
+        let graph = Arc::new(generate::twitter_like().generate_scaled(0.01));
+        let partition = Arc::new(ChunkV.partition(&graph, 4));
+        let plan = FaultPlan::new()
+            .crash(2, 1)
+            .straggler(0, 9, 3, 4.0)
+            .drop_link(0, 9, 0, 2, 0.5);
+        let starts = WalkStarts::PerVertex(1);
+        let app = SimpleRandomWalk::new(6);
+        let seq = WalkEngine::new(
+            Cluster::new(graph.clone(), partition.clone()),
+            CostModel::default(),
+            ExecMode::Sequential,
+        )
+        .with_recording()
+        .with_faults(plan.clone())
+        .with_checkpoint_every(2)
+        .run(&app, &starts, 17);
+        let thr = WalkEngine::new(
+            Cluster::new(graph.clone(), partition),
+            CostModel::default(),
+            ExecMode::Threaded,
+        )
+        .with_recording()
+        .with_faults(plan)
+        .with_checkpoint_every(2)
+        .run(&app, &starts, 17);
+        assert_eq!(seq.paths, thr.paths);
+        assert_eq!(seq.telemetry.total_faults(), thr.telemetry.total_faults());
+        assert_eq!(
+            seq.telemetry.replayed_supersteps(),
+            thr.telemetry.replayed_supersteps()
+        );
+        assert_eq!(seq.telemetry.total_time(), thr.telemetry.total_time());
+    }
+
+    #[test]
+    fn link_faults_leave_trajectories_alone() {
+        let graph = Arc::new(generate::complete(16));
+        let starts = WalkStarts::PerVertex(2);
+        let app = SimpleRandomWalk::new(5);
+        let clean = engine(&graph, ChunkV, 4)
+            .with_recording()
+            .run(&app, &starts, 3);
+        let lossy = engine(&graph, ChunkV, 4)
+            .with_recording()
+            .with_faults(FaultPlan::new().with_seed(9).drop_link(0, 9, 1, 0, 0.6))
+            .run(&app, &starts, 3);
+        assert_eq!(clean.paths, lossy.paths);
+        assert_eq!(clean.message_walks, lossy.message_walks);
+        assert!(lossy.telemetry.total_faults() > 0);
+        assert!(lossy.telemetry.total_messages() > clean.telemetry.total_messages());
     }
 }

@@ -68,4 +68,31 @@ proptest! {
         let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         prop_assert_ne!(sa, sb);
     }
+
+    #[test]
+    fn crash_recovery_is_trajectory_invariant(
+        seed in 0u64..100,
+        crash_at in 0usize..6,
+        machine in 0u32..4,
+        every in 1usize..4,
+    ) {
+        use bpart_cluster::FaultPlan;
+        let graph = Arc::new(generate::erdos_renyi(60, 480, seed));
+        let partition = Arc::new(ChunkV.partition(&graph, 4));
+        let app = apps::SimpleRandomWalk::new(6);
+        let starts = WalkStarts::PerVertex(1);
+        let clean = WalkEngine::default_for(graph.clone(), partition.clone())
+            .with_recording()
+            .run(&app, &starts, seed);
+        let faulted = WalkEngine::default_for(graph.clone(), partition)
+            .with_recording()
+            .with_faults(FaultPlan::new().crash(crash_at, machine))
+            .with_checkpoint_every(every)
+            .run(&app, &starts, seed);
+        prop_assert_eq!(clean.paths, faulted.paths);
+        prop_assert_eq!(clean.total_steps, faulted.total_steps);
+        prop_assert_eq!(clean.message_walks, faulted.message_walks);
+        prop_assert_eq!(faulted.telemetry.total_faults(), 1);
+        prop_assert!(faulted.telemetry.total_recovery_time() > 0.0);
+    }
 }

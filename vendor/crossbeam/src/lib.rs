@@ -1,0 +1,110 @@
+//! Offline stand-in for `crossbeam` (API-compatible subset over std).
+//!
+//! The build environment has no access to crates.io. Only
+//! [`thread::scope`] is provided, built on `std::thread::scope`
+//! (stable since 1.63) with crossbeam's semantics: a panicking child
+//! thread is captured and surfaced through its handle's `join()` instead
+//! of aborting the scope.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Payload of a panicked thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Scope handle passed to the closure and to each spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        std: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // Manual impls: `derive(Copy)` would bound on the lifetimes' types.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to one spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, Result<T, PanicPayload>>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread; a child panic comes back as `Err` with
+        /// the panic payload (crossbeam semantics).
+        pub fn join(self) -> Result<T, PanicPayload> {
+            match self.inner.join() {
+                Ok(result) => result,
+                Err(payload) => Err(payload),
+            }
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (so it
+        /// could spawn siblings), and its panic is captured rather than
+        /// propagated.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self
+                    .std
+                    .spawn(move || catch_unwind(AssertUnwindSafe(|| f(&scope)))),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing local state can be
+    /// spawned; all are joined before `scope` returns. Child panics are
+    /// reported through each handle's `join()`, never here — the outer
+    /// `Result` only reflects unjoined-child panics, which this
+    /// implementation converts to `Ok` after capture, matching how the
+    /// workspace (and most crossbeam users) consume the API.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { std: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let mut values = [1u64, 2, 3];
+        let out = thread::scope(|scope| {
+            let handles: Vec<_> = values
+                .iter_mut()
+                .map(|v| scope.spawn(move |_| *v * 10))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn child_panic_is_captured_in_join() {
+        let result = thread::scope(|scope| {
+            let ok = scope.spawn(|_| 7u32);
+            let bad = scope.spawn(|_| -> u32 { panic!("child died") });
+            (ok.join(), bad.join())
+        })
+        .unwrap();
+        assert_eq!(result.0.unwrap(), 7);
+        let payload = result.1.unwrap_err();
+        assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "child died");
+    }
+}

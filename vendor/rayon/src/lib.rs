@@ -1,0 +1,65 @@
+//! Offline stand-in for `rayon` (API-compatible subset, sequential).
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the `into_par_iter` / `par_sort_unstable` surface the
+//! workspace uses, executing sequentially. Results are identical to
+//! rayon's (the workspace only uses order-insensitive reductions and
+//! sorts); only wall-clock parallelism is lost, which the simulator's
+//! cost model never measures.
+
+pub mod prelude {
+    /// `into_par_iter()` that hands back the plain sequential iterator;
+    /// `map`/`filter`/`sum`/`collect` then come from [`Iterator`].
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Parallel slice sorting, sequential under the hood.
+    pub trait ParallelSliceMut<T> {
+        fn as_sequential_mut_slice(&mut self) -> &mut [T];
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.as_sequential_mut_slice().sort_unstable();
+        }
+
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F)
+        where
+            T: Send,
+        {
+            self.as_sequential_mut_slice().sort_unstable_by_key(f);
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn as_sequential_mut_slice(&mut self) -> &mut [T] {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_behaves_like_iter() {
+        let sum: u64 = (0u64..100).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(sum, 9900);
+        let v: Vec<usize> = (0..4).into_par_iter().collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn par_sort_unstable_sorts() {
+        let mut v = vec![3, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}
