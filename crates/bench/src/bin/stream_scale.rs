@@ -1,0 +1,167 @@
+//! Parallel streaming scaling — throughput and quality of the
+//! buffered-parallel engine versus the exact sequential pass, on the
+//! lj_like dataset at the harness scale.
+//!
+//! For Fennel and BPart-P1 (the two schemes built on the shared streaming
+//! engine), each thread count runs the same partition and reports
+//! throughput (vertices/s), speedup over the sequential run, edge-cut
+//! ratio, and the commit-barrier synchronization stall.
+//!
+//! The buffer is sized to ~1/16 of the vertex stream (capped at the
+//! engine default), keeping the buffer/stream ratio — which is what the
+//! quality envelope depends on — stable across `BPART_SCALE` values.
+//!
+//! Output lands in `BENCH_stream.json`. With `BPART_GATE=1` the binary
+//! exits non-zero if any 2-thread run degrades the edge cut by more than
+//! 5% (plus an absolute 0.01 floor) over the sequential run — the CI
+//! perf gate.
+
+use bpart_bench::{banner, dataset, json, render_table, write_bench_json};
+use bpart_core::bpart::WeightedStream;
+use bpart_core::metrics;
+use bpart_core::prelude::*;
+use bpart_core::DEFAULT_BUFFER_SIZE;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const K: usize = 8;
+
+struct Run {
+    scheme: &'static str,
+    threads: usize,
+    secs: f64,
+    throughput: f64,
+    speedup: f64,
+    cut: f64,
+    stall: f64,
+    buffers: usize,
+}
+
+fn scheme_at(name: &'static str, parallel: ParallelConfig) -> Box<dyn Partitioner> {
+    match name {
+        "Fennel" => Box::new(Fennel::new(FennelConfig {
+            parallel,
+            ..Default::default()
+        })),
+        _ => Box::new(WeightedStream::new(BPartConfig {
+            parallel,
+            ..Default::default()
+        })),
+    }
+}
+
+fn main() {
+    let g = dataset("lj_like");
+    let n = g.num_vertices();
+    let buffer_size = (n / 16).clamp(1, DEFAULT_BUFFER_SIZE);
+    banner(
+        "Stream scaling",
+        &format!("lj_like, k = {K}, buffer = {buffer_size}, threads = {THREAD_COUNTS:?}"),
+    );
+
+    let mut runs: Vec<Run> = Vec::new();
+    for scheme_name in ["Fennel", "BPart-P1"] {
+        let mut base_secs = 0.0;
+        for &threads in &THREAD_COUNTS {
+            let scheme = scheme_at(
+                scheme_name,
+                ParallelConfig {
+                    threads,
+                    buffer_size,
+                },
+            );
+            let (partition, stats) = scheme.partition_with_stats(&g, K);
+            if threads == 1 {
+                base_secs = stats.secs;
+            }
+            runs.push(Run {
+                scheme: scheme_name,
+                threads,
+                secs: stats.secs,
+                throughput: stats.vertices_per_sec(),
+                speedup: if stats.secs > 0.0 {
+                    base_secs / stats.secs
+                } else {
+                    0.0
+                },
+                cut: metrics::edge_cut_ratio(&g, &partition),
+                stall: stats.sync_stall_ratio(),
+                buffers: stats.buffers,
+            });
+        }
+    }
+
+    let header: Vec<String> = [
+        "scheme", "threads", "secs", "v/s", "speedup", "cut", "stall",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                r.threads.to_string(),
+                format!("{:.3}", r.secs),
+                format!("{:.0}", r.throughput),
+                format!("{:.2}x", r.speedup),
+                format!("{:.3}", r.cut),
+                format!("{:.1}%", r.stall * 100.0),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "note: speedup needs real cores; single-core hosts still verify\n\
+         determinism and the quality envelope."
+    );
+
+    let items: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            json::object(&[
+                ("scheme", json::string(r.scheme)),
+                ("threads", r.threads.to_string()),
+                ("secs", json::number(r.secs)),
+                ("vertices_per_sec", json::number(r.throughput)),
+                ("speedup", json::number(r.speedup)),
+                ("cut_ratio", json::number(r.cut)),
+                ("sync_stall_ratio", json::number(r.stall)),
+                ("buffers", r.buffers.to_string()),
+            ])
+        })
+        .collect();
+    let doc = json::object(&[
+        ("bench", json::string("stream_scale")),
+        ("dataset", json::string("lj_like")),
+        ("vertices", n.to_string()),
+        ("k", K.to_string()),
+        ("buffer_size", buffer_size.to_string()),
+        ("runs", json::array(&items)),
+    ]);
+    write_bench_json("BENCH_stream.json", &doc);
+
+    if std::env::var("BPART_GATE").is_ok_and(|v| v == "1") {
+        let mut failed = false;
+        for scheme_name in ["Fennel", "BPart-P1"] {
+            let seq = runs
+                .iter()
+                .find(|r| r.scheme == scheme_name && r.threads == 1)
+                .expect("sequential run present");
+            for r in runs.iter().filter(|r| r.scheme == scheme_name) {
+                if r.threads == 2 && r.cut > seq.cut * 1.05 + 0.01 {
+                    eprintln!(
+                        "PERF GATE: {} cut {:.4} at {} threads degrades >5% \
+                         over sequential {:.4}",
+                        r.scheme, r.cut, r.threads, seq.cut
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("perf gate: 2-thread edge cut within 5% of sequential");
+    }
+}

@@ -116,6 +116,61 @@ pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Minimal JSON emission for the `BENCH_*.json` CI artifacts. The workspace
+/// deliberately carries no serde; the harness output is flat enough that
+/// string assembly is all that is needed.
+pub mod json {
+    /// Quotes and escapes a string value.
+    pub fn string(v: &str) -> String {
+        let mut out = String::with_capacity(v.len() + 2);
+        out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Renders a float; non-finite values (which JSON cannot carry) become
+    /// `null`.
+    pub fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// `{"k": v, ...}` from already-rendered values.
+    pub fn object(fields: &[(&str, String)]) -> String {
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("{}: {v}", string(k)))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+
+    /// `[v, ...]` from already-rendered values.
+    pub fn array(items: &[String]) -> String {
+        format!("[{}]", items.join(", "))
+    }
+}
+
+/// Writes a `BENCH_*.json` artifact into the current directory and echoes
+/// the path, so CI can pick it up with a glob.
+pub fn write_bench_json(name: &str, payload: &str) {
+    std::fs::write(name, payload).unwrap_or_else(|e| panic!("cannot write {name}: {e}"));
+    println!("wrote {name}");
+}
+
 /// The paper's seven-application names in Fig. 14's order: five
 /// KnightKing walk apps then the two Gemini iteration apps.
 pub fn app_names() -> Vec<&'static str> {
@@ -200,5 +255,17 @@ mod tests {
     #[should_panic(expected = "unknown dataset")]
     fn unknown_dataset_panics() {
         dataset("nope");
+    }
+
+    #[test]
+    fn json_helpers_render_valid_documents() {
+        assert_eq!(json::string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json::number(1.5), "1.5");
+        assert_eq!(json::number(f64::INFINITY), "null");
+        let doc = json::object(&[
+            ("name", json::string("x")),
+            ("vals", json::array(&[json::number(1.0), json::number(2.0)])),
+        ]);
+        assert_eq!(doc, r#"{"name": "x", "vals": [1, 2]}"#);
     }
 }

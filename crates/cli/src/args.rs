@@ -15,18 +15,21 @@ pub enum Command {
     },
     /// `bpart stats GRAPH`
     Stats { graph: String },
-    /// `bpart partition GRAPH --parts K [--scheme S] [--out FILE]`
+    /// `bpart partition GRAPH --parts K [--scheme S] [--out FILE]
+    /// [--threads T] [--buffer-size B]`
     Partition {
         graph: String,
         parts: usize,
         scheme: String,
         out: Option<String>,
+        threads: usize,
+        buffer_size: usize,
     },
     /// `bpart quality GRAPH PARTITION`
     Quality { graph: String, partition: String },
     /// `bpart run GRAPH --parts K [--scheme S] [--app A] [--iters N]
     /// [--walk-len L] [--seed N] [--mode M] [--fault-plan SPEC]
-    /// [--checkpoint-every N]`
+    /// [--checkpoint-every N] [--threads T] [--buffer-size B]`
     Run {
         graph: String,
         parts: usize,
@@ -38,6 +41,8 @@ pub enum Command {
         mode: String,
         fault_plan: Option<String>,
         checkpoint_every: Option<usize>,
+        threads: usize,
+        buffer_size: usize,
     },
     /// `bpart convert SRC DST`
     Convert { src: String, dst: String },
@@ -133,12 +138,18 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 .unwrap_or("bpart")
                 .to_string();
             let out = get_optional(&flags, "out").map(str::to_string);
-            check_unknown(&flags, &["parts", "scheme", "out"])?;
+            let (threads, buffer_size) = parse_parallel(&flags)?;
+            check_unknown(
+                &flags,
+                &["parts", "scheme", "out", "threads", "buffer-size"],
+            )?;
             Ok(Command::Partition {
                 graph,
                 parts,
                 scheme,
                 out,
+                threads,
+                buffer_size,
             })
         }
         "run" => {
@@ -194,6 +205,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 }
                 None => None,
             };
+            let (threads, buffer_size) = parse_parallel(&flags)?;
             check_unknown(
                 &flags,
                 &[
@@ -206,6 +218,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "mode",
                     "fault-plan",
                     "checkpoint-every",
+                    "threads",
+                    "buffer-size",
                 ],
             )?;
             Ok(Command::Run {
@@ -219,6 +233,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 mode,
                 fault_plan,
                 checkpoint_every,
+                threads,
+                buffer_size,
             })
         }
         "quality" => {
@@ -249,6 +265,29 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         }
         other => Err(err(format!("unknown command {other:?} (try --help)"))),
     }
+}
+
+/// Parses the shared `--threads` / `--buffer-size` worker-pool flags
+/// (defaults: 1 thread — the exact sequential path — and
+/// [`bpart_core::DEFAULT_BUFFER_SIZE`]). Both must be at least 1.
+fn parse_parallel(flags: &[(&str, &str)]) -> Result<(usize, usize), ParseError> {
+    let threads = match get_optional(flags, "threads") {
+        Some(s) => s.parse().map_err(|_| err(format!("bad --threads {s:?}")))?,
+        None => 1,
+    };
+    if threads == 0 {
+        return Err(err("--threads must be at least 1"));
+    }
+    let buffer_size = match get_optional(flags, "buffer-size") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| err(format!("bad --buffer-size {s:?}")))?,
+        None => bpart_core::DEFAULT_BUFFER_SIZE,
+    };
+    if buffer_size == 0 {
+        return Err(err("--buffer-size must be at least 1"));
+    }
+    Ok((threads, buffer_size))
 }
 
 /// `--flag value` pairs collected by [`split_flags`].
@@ -334,9 +373,40 @@ mod tests {
                 graph: "g.txt".into(),
                 parts: 8,
                 scheme: "bpart".into(),
-                out: None
+                out: None,
+                threads: 1,
+                buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
             }
         );
+    }
+
+    #[test]
+    fn parses_parallel_flags() {
+        let cmd = p(&[
+            "partition",
+            "g.txt",
+            "--parts",
+            "8",
+            "--threads",
+            "4",
+            "--buffer-size",
+            "1024",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Partition {
+                threads,
+                buffer_size,
+                ..
+            } => {
+                assert_eq!(threads, 4);
+                assert_eq!(buffer_size, 1024);
+            }
+            other => panic!("expected Partition, got {other:?}"),
+        }
+        assert!(p(&["partition", "g", "--parts", "4", "--threads", "0"]).is_err());
+        assert!(p(&["partition", "g", "--parts", "4", "--buffer-size", "0"]).is_err());
+        assert!(p(&["run", "g", "--parts", "4", "--threads", "zig"]).is_err());
     }
 
     #[test]
@@ -373,6 +443,8 @@ mod tests {
                 mode: "sequential".into(),
                 fault_plan: None,
                 checkpoint_every: None,
+                threads: 1,
+                buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
             }
         );
     }

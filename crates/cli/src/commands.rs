@@ -52,7 +52,18 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             parts,
             scheme,
             out,
-        } => partition_cmd(graph, *parts, scheme, out.as_deref()),
+            threads,
+            buffer_size,
+        } => partition_cmd(
+            graph,
+            *parts,
+            scheme,
+            out.as_deref(),
+            ParallelConfig {
+                threads: *threads,
+                buffer_size: *buffer_size,
+            },
+        ),
         Command::Quality { graph, partition } => quality_cmd(graph, partition),
         Command::Convert { src, dst } => convert_cmd(src, dst),
         Command::Run {
@@ -66,6 +77,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             mode,
             fault_plan,
             checkpoint_every,
+            threads,
+            buffer_size,
         } => run_cmd(
             graph,
             *parts,
@@ -77,6 +90,10 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             mode,
             fault_plan.as_deref(),
             *checkpoint_every,
+            ParallelConfig {
+                threads: *threads,
+                buffer_size: *buffer_size,
+            },
         ),
     }
 }
@@ -96,16 +113,35 @@ pub fn scheme_names() -> Vec<&'static str> {
     ]
 }
 
-/// Resolves a scheme name to a partitioner.
+/// Resolves a scheme name to a partitioner with a sequential worker pool.
 pub fn scheme_by_name(name: &str) -> Result<Box<dyn Partitioner>, CliError> {
+    scheme_with_parallel(name, ParallelConfig::default())
+}
+
+/// Resolves a scheme name to a partitioner, threading the worker-pool shape
+/// into the streaming schemes (`fennel`, `bpart`, `bpart-p1`). The other
+/// schemes are not stream-based and ignore it.
+pub fn scheme_with_parallel(
+    name: &str,
+    parallel: ParallelConfig,
+) -> Result<Box<dyn Partitioner>, CliError> {
     Ok(match name {
         "chunk-v" => Box::new(ChunkV),
         "chunk-e" => Box::new(ChunkE),
         "hash" => Box::new(HashPartitioner::default()),
-        "fennel" => Box::new(Fennel::default()),
+        "fennel" => Box::new(Fennel::new(FennelConfig {
+            parallel,
+            ..Default::default()
+        })),
         "ldg" => Box::new(Ldg::default()),
-        "bpart" => Box::new(BPart::default()),
-        "bpart-p1" => Box::new(bpart_core::bpart::WeightedStream::default()),
+        "bpart" => Box::new(BPart::new(BPartConfig {
+            parallel,
+            ..Default::default()
+        })),
+        "bpart-p1" => Box::new(bpart_core::bpart::WeightedStream::new(BPartConfig {
+            parallel,
+            ..Default::default()
+        })),
         "multilevel" => Box::new(Multilevel::default()),
         "gd" => Box::new(GdPartitioner::default()),
         other => {
@@ -211,14 +247,16 @@ fn partition_cmd(
     parts: usize,
     scheme_name: &str,
     out: Option<&str>,
+    parallel: ParallelConfig,
 ) -> Result<String, CliError> {
     let graph = load_graph(graph_path)?;
-    let scheme = scheme_by_name(scheme_name)?;
+    let scheme = scheme_with_parallel(scheme_name, parallel)?;
     let start = Instant::now();
-    let partition = scheme.partition(&graph, parts);
+    let (partition, stats) = scheme.partition_with_stats(&graph, parts);
     let elapsed = start.elapsed().as_secs_f64();
     let mut text = report(&graph, &partition, scheme.name());
     text.push_str(&format!("  partition time:  {elapsed:.3}s\n"));
+    text.push_str(&stream_stats_report(&stats));
     if let Some(path) = out {
         let file = File::create(path).map_err(|e| fail(format!("cannot create {path}: {e}")))?;
         if is_binary_partition(path) {
@@ -260,10 +298,12 @@ fn run_cmd(
     mode: &str,
     fault_plan: Option<&str>,
     checkpoint_every: Option<usize>,
+    parallel: ParallelConfig,
 ) -> Result<String, CliError> {
     let graph = Arc::new(load_graph(graph_path)?);
-    let scheme = scheme_by_name(scheme_name)?;
-    let partition = Arc::new(scheme.partition(&graph, parts));
+    let scheme = scheme_with_parallel(scheme_name, parallel)?;
+    let (partition, partition_stats) = scheme.partition_with_stats(&graph, parts);
+    let partition = Arc::new(partition);
     let mode = match mode {
         "threaded" => ExecMode::Threaded,
         _ => ExecMode::Sequential,
@@ -300,6 +340,7 @@ fn run_cmd(
                     .map_err(|e| fail(format!("run failed: {e}")))?;
                 (run.telemetry, run.iterations)
             };
+            telemetry.record_partition(partition_stats);
             out.push_str(&telemetry_report(&telemetry, iterations));
         }
         "deepwalk" | "walk" => {
@@ -320,6 +361,7 @@ fn run_cmd(
                 "  walker steps:    {}\n  message walks:   {}\n",
                 run.total_steps, run.message_walks
             ));
+            run.telemetry.record_partition(partition_stats);
             out.push_str(&telemetry_report(&run.telemetry, run.iterations));
         }
         other => {
@@ -332,10 +374,36 @@ fn run_cmd(
     Ok(out)
 }
 
+/// Streaming throughput lines shared by `partition` and `run` output.
+/// Buffer detail only appears for buffered-parallel runs (`buffers > 0`);
+/// the sequential path and non-streaming schemes report throughput alone.
+fn stream_stats_report(stats: &StreamStats) -> String {
+    let mut out = format!(
+        "  throughput:      {:.0} vertices/s ({} thread{})\n",
+        stats.vertices_per_sec(),
+        stats.threads,
+        if stats.threads == 1 { "" } else { "s" },
+    );
+    if stats.buffers > 0 {
+        out.push_str(&format!(
+            "  buffers:         {} (sync stall {:.1}%)\n",
+            stats.buffers,
+            stats.sync_stall_ratio() * 100.0
+        ));
+    }
+    out
+}
+
 /// The telemetry summary shared by iteration and walk runs: the paper's
 /// aggregates plus the fault/recovery counters.
 fn telemetry_report(t: &Telemetry, iterations: usize) -> String {
     let mut out = String::new();
+    if let Some(stats) = t.partition_stats() {
+        out.push_str("  partition stage:\n");
+        for line in stream_stats_report(&stats).lines() {
+            out.push_str(&format!("  {line}\n"));
+        }
+    }
     out.push_str(&format!("  supersteps:      {iterations}\n"));
     out.push_str(&format!("  total time:      {:.2} units\n", t.total_time()));
     out.push_str(&format!("  waiting ratio:   {:.4}\n", t.waiting_ratio()));
@@ -420,6 +488,8 @@ mod tests {
             parts: 4,
             scheme: "bpart".into(),
             out: Some(pp.clone()),
+            threads: 1,
+            buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
         });
         assert!(out.contains("edge-cut ratio"), "{out}");
 
@@ -484,6 +554,8 @@ mod tests {
             parts: 4,
             scheme: "hash".into(),
             out: Some(pp.clone()),
+            threads: 1,
+            buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
         });
         let out = runs(Command::Quality {
             graph: gp.clone(),
@@ -492,6 +564,50 @@ mod tests {
         assert!(out.contains("(4 parts)"), "{out}");
         std::fs::remove_file(graph_path).ok();
         std::fs::remove_file(parts_path).ok();
+    }
+
+    #[test]
+    fn parallel_partition_reports_buffer_telemetry() {
+        let graph_path = tmp("par.txt");
+        let gp = graph_path.to_str().unwrap().to_string();
+        runs(Command::Generate {
+            preset: "twitter_like".into(),
+            scale: 0.01,
+            seed: Some(3),
+            out: gp.clone(),
+        });
+        let out = runs(Command::Partition {
+            graph: gp.clone(),
+            parts: 4,
+            scheme: "fennel".into(),
+            out: None,
+            threads: 2,
+            buffer_size: 128,
+        });
+        assert!(out.contains("throughput:"), "{out}");
+        assert!(out.contains("2 threads"), "{out}");
+        assert!(out.contains("buffers:"), "{out}");
+        assert!(out.contains("sync stall"), "{out}");
+
+        // The run command surfaces the partition stage in its telemetry.
+        let out = run(&Command::Run {
+            graph: gp.clone(),
+            parts: 4,
+            scheme: "bpart".into(),
+            app: "pagerank".into(),
+            iters: 2,
+            walk_len: 5,
+            seed: 7,
+            mode: "sequential".into(),
+            fault_plan: None,
+            checkpoint_every: None,
+            threads: 2,
+            buffer_size: 128,
+        })
+        .unwrap();
+        assert!(out.contains("partition stage:"), "{out}");
+        assert!(out.contains("2 threads"), "{out}");
+        std::fs::remove_file(graph_path).ok();
     }
 
     #[test]
@@ -522,6 +638,8 @@ mod tests {
             mode: "sequential".into(),
             fault_plan: fault_plan.map(str::to_string),
             checkpoint_every: Some(2),
+            threads: 1,
+            buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
         })
     }
 

@@ -38,11 +38,12 @@ USAGE:
   bpart generate  --preset <lj_like|twitter_like|friendster_like> \
 [--scale F] [--seed N] --out FILE
   bpart stats     GRAPH
-  bpart partition GRAPH --parts K [--scheme NAME] [--out FILE]
+  bpart partition GRAPH --parts K [--scheme NAME] [--out FILE] \
+[--threads T] [--buffer-size B]
   bpart quality   GRAPH PARTITION
   bpart run       GRAPH --parts K [--scheme NAME] [--app APP] [--iters N] \
 [--walk-len L] [--seed N] [--mode sequential|threaded] [--fault-plan SPEC] \
-[--checkpoint-every N]
+[--checkpoint-every N] [--threads T] [--buffer-size B]
   bpart convert   SRC DST
   bpart schemes
 
@@ -62,6 +63,11 @@ FAULT PLANS (run --fault-plan):
   seed=N                seed for the per-link fault hashing
   Crashed supersteps roll back to the last checkpoint (--checkpoint-every)
   and replay; results are identical to a fault-free run.
+
+PARALLEL STREAMING (partition/run, streaming schemes only):
+  --threads T      scoring worker threads (default 1 = exact sequential)
+  --buffer-size B  vertices scored per weight-sync window (default 4096);
+                   B=1 reproduces the sequential result for any T
 
 FILES:
   *.bpgr  binary CSR graph        (anything else: text edge list)

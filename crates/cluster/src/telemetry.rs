@@ -11,6 +11,7 @@
 //! * *waiting ratio* — total waiting over all machines divided by
 //!   `machines × total running time` (Fig. 13).
 
+use bpart_core::StreamStats;
 use parking_lot::Mutex;
 
 /// One superstep's timings.
@@ -55,6 +56,7 @@ impl IterationRecord {
 #[derive(Debug, Default)]
 pub struct Telemetry {
     records: Mutex<Vec<IterationRecord>>,
+    partition: Mutex<Option<StreamStats>>,
 }
 
 impl Telemetry {
@@ -76,6 +78,24 @@ impl Telemetry {
     /// Snapshot of all records.
     pub fn records(&self) -> Vec<IterationRecord> {
         self.records.lock().clone()
+    }
+
+    /// Records the partitioning stage's streaming telemetry (buffer count,
+    /// worker threads, synchronization stalls). Called once before the
+    /// supersteps start; a later call overwrites the earlier record.
+    pub fn record_partition(&self, stats: StreamStats) {
+        *self.partition.lock() = Some(stats);
+    }
+
+    /// The partitioning stage's streaming telemetry, if recorded.
+    pub fn partition_stats(&self) -> Option<StreamStats> {
+        *self.partition.lock()
+    }
+
+    /// Partitioning throughput in vertices per second; zero when no
+    /// partition stage was recorded.
+    pub fn partition_throughput(&self) -> f64 {
+        self.partition.lock().map_or(0.0, |s| s.vertices_per_sec())
     }
 
     /// Total modelled running time (Σ per-iteration wall time).
@@ -199,6 +219,25 @@ mod tests {
         assert_eq!(t.total_faults(), 0);
         assert_eq!(t.replayed_supersteps(), 0);
         assert_eq!(t.total_recovery_time(), 0.0);
+    }
+
+    #[test]
+    fn partition_stage_stats_are_exposed() {
+        let t = Telemetry::new();
+        assert!(t.partition_stats().is_none());
+        assert_eq!(t.partition_throughput(), 0.0);
+        t.record_partition(StreamStats {
+            vertices: 1_000,
+            buffers: 4,
+            secs: 0.5,
+            sync_secs: 0.1,
+            threads: 2,
+        });
+        let s = t.partition_stats().expect("recorded");
+        assert_eq!(s.vertices, 1_000);
+        assert_eq!(s.threads, 2);
+        assert!((t.partition_throughput() - 2_000.0).abs() < 1e-9);
+        assert!((s.sync_stall_ratio() - 0.2).abs() < 1e-12);
     }
 
     #[test]

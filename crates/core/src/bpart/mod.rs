@@ -34,7 +34,7 @@ pub use weighted::WeightedStream;
 use crate::partition::{PartId, Partition};
 use crate::partitioner::Partitioner;
 use crate::stream::StreamOrder;
-use crate::streaming::UNASSIGNED;
+use crate::streaming::{ParallelConfig, StreamStats, UNASSIGNED};
 use bpart_graph::{CsrGraph, VertexId};
 
 /// Tunables for [`BPart`].
@@ -58,6 +58,9 @@ pub struct BPartConfig {
     pub max_layers: u32,
     /// Vertex visit order for the streaming phase.
     pub order: StreamOrder,
+    /// Worker-pool shape for the streaming phase: sequential by default,
+    /// buffered-parallel when `threads > 1` (see [`ParallelConfig`]).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for BPartConfig {
@@ -71,6 +74,7 @@ impl Default for BPartConfig {
             epsilon_edge: 0.1,
             max_layers: 4,
             order: StreamOrder::Natural,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -82,7 +86,7 @@ pub struct BPart {
 }
 
 /// Per-layer trace of a BPart run, for ablation studies and debugging.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LayerTrace {
     /// 1-based layer number.
     pub layer: u32,
@@ -92,6 +96,10 @@ pub struct LayerTrace {
     pub frozen: usize,
     /// Vertices still unassigned after this layer.
     pub remaining_vertices: usize,
+    /// Throughput telemetry of this layer's streaming pass: vertices/sec,
+    /// buffer count, and synchronization stalls (zero for layers that froze
+    /// without streaming).
+    pub stream: StreamStats,
 }
 
 impl BPart {
@@ -140,13 +148,15 @@ impl BPart {
                     pieces: 1,
                     frozen: 1,
                     remaining_vertices: 0,
+                    stream: StreamStats::default(),
                 });
                 break;
             }
 
             let rounds = layer as usize;
             let pieces = parts_left << rounds;
-            let mut groups = weighted::split_into_pieces(graph, &remaining, pieces, cfg);
+            let (mut groups, stream_stats) =
+                weighted::split_into_pieces(graph, &remaining, pieces, cfg);
             for _ in 0..rounds {
                 groups = combine_round(groups);
             }
@@ -203,6 +213,7 @@ impl BPart {
                 pieces,
                 frozen: frozen_here,
                 remaining_vertices: remaining.len(),
+                stream: stream_stats,
             });
         }
 
@@ -230,6 +241,15 @@ fn freeze(assignment: &mut [PartId], vertices: &[VertexId], part: PartId) {
 impl Partitioner for BPart {
     fn partition(&self, graph: &CsrGraph, num_parts: usize) -> Partition {
         self.partition_with_trace(graph, num_parts).0
+    }
+
+    fn partition_with_stats(&self, graph: &CsrGraph, num_parts: usize) -> (Partition, StreamStats) {
+        let (partition, trace) = self.partition_with_trace(graph, num_parts);
+        let mut stats = StreamStats::default();
+        for layer in &trace {
+            stats.merge(&layer.stream);
+        }
+        (partition, stats)
     }
 
     fn name(&self) -> &'static str {
@@ -286,6 +306,49 @@ mod tests {
         assert_eq!(frozen, 8);
         // layer 1 must over-split 2x
         assert_eq!(trace[0].pieces, 16);
+    }
+
+    #[test]
+    fn trace_carries_layer_stream_telemetry() {
+        let g = generate::twitter_like().generate_scaled(0.02);
+        let cfg = BPartConfig {
+            parallel: crate::streaming::ParallelConfig {
+                threads: 2,
+                buffer_size: 256,
+            },
+            ..Default::default()
+        };
+        let (p, trace) = BPart::new(cfg).partition_with_trace(&g, 8);
+        p.validate(&g).unwrap();
+        let streamed: usize = trace.iter().map(|t| t.stream.vertices).sum();
+        assert!(
+            streamed >= g.num_vertices(),
+            "every vertex is streamed at least once, got {streamed}"
+        );
+        assert!(trace.iter().any(|t| t.stream.buffers > 0));
+        assert!(trace
+            .iter()
+            .filter(|t| t.stream.vertices > 0)
+            .all(|t| t.stream.threads == 2));
+    }
+
+    #[test]
+    fn parallel_bpart_preserves_two_dimensional_balance() {
+        let g = generate::twitter_like().generate_scaled(0.02);
+        let cfg = BPartConfig {
+            parallel: crate::streaming::ParallelConfig {
+                threads: 4,
+                buffer_size: 512,
+            },
+            ..Default::default()
+        };
+        let (p, stats) = BPart::new(cfg).partition_with_stats(&g, 8);
+        p.validate(&g).unwrap();
+        let q = metrics::quality(&g, &p);
+        assert!(q.vertex_bias < 0.15, "vertex bias {}", q.vertex_bias);
+        assert!(q.edge_bias < 0.15, "edge bias {}", q.edge_bias);
+        assert_eq!(stats.threads, 4);
+        assert!(stats.vertices >= g.num_vertices());
     }
 
     #[test]

@@ -10,29 +10,32 @@ use super::combine::Group;
 use super::BPartConfig;
 use crate::partition::Partition;
 use crate::partitioner::Partitioner;
-use crate::streaming::{fennel_alpha, stream_assign, StreamConfig, UNASSIGNED};
+use crate::streaming::{fennel_alpha, stream_assign, StreamConfig, StreamStats, UNASSIGNED};
 use bpart_graph::{CsrGraph, VertexId};
 
 /// Streams `subset` into `pieces` pieces using the weighted balance
-/// indicator, returning per-piece member lists with cached tallies.
+/// indicator, returning per-piece member lists with cached tallies plus the
+/// pass's throughput telemetry. An empty subset short-circuits (α would be
+/// undefined — see [`crate::StreamError::EmptyStream`]) into empty groups.
 pub(super) fn split_into_pieces(
     graph: &CsrGraph,
     subset: &[VertexId],
     pieces: usize,
     cfg: &BPartConfig,
-) -> Vec<Group> {
+) -> (Vec<Group>, StreamStats) {
     let n_sub = subset.len();
+    if n_sub == 0 {
+        let groups = (0..pieces).map(|_| Group::new(Vec::new(), 0)).collect();
+        return (groups, StreamStats::default());
+    }
     let m_sub: u64 = graph.degree_sum(subset.iter().copied());
     // Average degree of the streamed remainder keeps the indicator's total
     // mass equal to n_sub, so the Fennel α calibration carries over.
-    let d_bar = if n_sub == 0 {
-        1.0
-    } else {
-        (m_sub as f64 / n_sub as f64).max(f64::MIN_POSITIVE)
+    let d_bar = (m_sub as f64 / n_sub as f64).max(f64::MIN_POSITIVE);
+    let alpha = match cfg.alpha {
+        Some(a) => a,
+        None => fennel_alpha(n_sub, m_sub, pieces, cfg.gamma).expect("subset is non-empty"),
     };
-    let alpha = cfg
-        .alpha
-        .unwrap_or_else(|| fennel_alpha(n_sub, m_sub, pieces, cfg.gamma));
     let order = cfg.order.order_subset(graph, subset);
     let c = cfg.c;
 
@@ -45,6 +48,7 @@ pub(super) fn split_into_pieces(
             capacity: cfg.load_factor * n_sub as f64 / pieces as f64,
             order: &order,
             previous: None,
+            parallel: cfg.parallel,
         },
         |v| c + (1.0 - c) * graph.out_degree(v) as f64 / d_bar,
     );
@@ -55,14 +59,15 @@ pub(super) fn split_into_pieces(
         debug_assert_ne!(p, UNASSIGNED);
         members[p as usize].push(v);
     }
-    members
+    let groups = members
         .into_iter()
         .enumerate()
         .map(|(p, vs)| {
             debug_assert_eq!(vs.len() as u64, outcome.vertex_counts[p]);
             Group::new(vs, outcome.edge_counts[p])
         })
-        .collect()
+        .collect();
+    (groups, outcome.stats)
 }
 
 /// Phase 1 as a standalone partitioner (no combining): the weighted
@@ -81,16 +86,23 @@ impl WeightedStream {
 
 impl Partitioner for WeightedStream {
     fn partition(&self, graph: &CsrGraph, num_parts: usize) -> Partition {
+        self.partition_with_stats(graph, num_parts).0
+    }
+
+    fn partition_with_stats(&self, graph: &CsrGraph, num_parts: usize) -> (Partition, StreamStats) {
         assert!(num_parts > 0, "need at least one part");
         let all: Vec<VertexId> = graph.vertices().collect();
-        let groups = split_into_pieces(graph, &all, num_parts, &self.config);
+        let (groups, stats) = split_into_pieces(graph, &all, num_parts, &self.config);
         let mut assignment = vec![0; graph.num_vertices()];
         for (p, group) in groups.iter().enumerate() {
             for &v in &group.vertices {
                 assignment[v as usize] = p as u32;
             }
         }
-        Partition::from_assignment(graph, num_parts, assignment)
+        (
+            Partition::from_assignment(graph, num_parts, assignment),
+            stats,
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -101,13 +113,23 @@ impl Partitioner for WeightedStream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::streaming::ParallelConfig;
     use bpart_graph::generate;
+
+    fn pieces_of(
+        graph: &CsrGraph,
+        subset: &[VertexId],
+        pieces: usize,
+        cfg: &BPartConfig,
+    ) -> Vec<Group> {
+        split_into_pieces(graph, subset, pieces, cfg).0
+    }
 
     #[test]
     fn pieces_partition_the_subset() {
         let g = generate::twitter_like().generate_scaled(0.01);
         let subset: Vec<VertexId> = g.vertices().collect();
-        let groups = split_into_pieces(&g, &subset, 16, &BPartConfig::default());
+        let groups = pieces_of(&g, &subset, 16, &BPartConfig::default());
         assert_eq!(groups.len(), 16);
         let total_v: u64 = groups.iter().map(|g| g.vertex_count).sum();
         let total_e: u64 = groups.iter().map(|g| g.edge_count).sum();
@@ -120,7 +142,7 @@ mod tests {
         let g = generate::twitter_like().generate_scaled(0.02);
         let subset: Vec<VertexId> = g.vertices().collect();
         let cfg = BPartConfig::default();
-        let groups = split_into_pieces(&g, &subset, 16, &cfg);
+        let groups = pieces_of(&g, &subset, 16, &cfg);
         let d_bar = g.average_degree();
         let ws: Vec<f64> = groups
             .iter()
@@ -143,7 +165,7 @@ mod tests {
         // kept proportional to the reduced test scale.
         let g = generate::twitter_like().generate_scaled(0.2);
         let subset: Vec<VertexId> = g.vertices().collect();
-        let groups = split_into_pieces(&g, &subset, 16, &BPartConfig::default());
+        let groups = pieces_of(&g, &subset, 16, &BPartConfig::default());
         let vs: Vec<f64> = groups.iter().map(|g| g.vertex_count as f64).collect();
         let es: Vec<f64> = groups.iter().map(|g| g.edge_count as f64).collect();
         let corr = pearson(&vs, &es);
@@ -174,8 +196,36 @@ mod tests {
     #[test]
     fn empty_subset_yields_empty_groups() {
         let g = generate::ring(8);
-        let groups = split_into_pieces(&g, &[], 4, &BPartConfig::default());
+        let (groups, stats) = split_into_pieces(&g, &[], 4, &BPartConfig::default());
         assert_eq!(groups.len(), 4);
         assert!(groups.iter().all(|g| g.vertex_count == 0));
+        assert_eq!(stats.vertices, 0);
+    }
+
+    #[test]
+    fn parallel_split_keeps_the_weighted_indicator_balanced() {
+        let g = generate::twitter_like().generate_scaled(0.02);
+        let subset: Vec<VertexId> = g.vertices().collect();
+        let cfg = BPartConfig {
+            parallel: ParallelConfig {
+                threads: 4,
+                buffer_size: 512,
+            },
+            ..Default::default()
+        };
+        let (groups, stats) = split_into_pieces(&g, &subset, 16, &cfg);
+        assert_eq!(stats.threads, 4);
+        assert!(stats.buffers > 0);
+        let d_bar = g.average_degree();
+        let ws: Vec<f64> = groups
+            .iter()
+            .map(|gr| 0.5 * gr.vertex_count as f64 + 0.5 * gr.edge_count as f64 / d_bar)
+            .collect();
+        let mean = ws.iter().sum::<f64>() / ws.len() as f64;
+        let max = ws.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            (max - mean) / mean < 0.25,
+            "parallel indicator spread too wide: {ws:?}"
+        );
     }
 }

@@ -10,7 +10,7 @@
 use crate::partition::Partition;
 use crate::partitioner::Partitioner;
 use crate::stream::StreamOrder;
-use crate::streaming::{fennel_alpha, stream_assign, StreamConfig};
+use crate::streaming::{fennel_alpha, stream_assign, ParallelConfig, StreamConfig, StreamStats};
 use bpart_graph::CsrGraph;
 
 /// Tunables for [`Fennel`].
@@ -28,6 +28,9 @@ pub struct FennelConfig {
     /// first rescore every vertex against the complete assignment, which
     /// typically lowers the cut a few points at linear extra cost.
     pub passes: usize,
+    /// Worker-pool shape: sequential by default, buffered-parallel when
+    /// `threads > 1` (see [`ParallelConfig`]).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for FennelConfig {
@@ -38,6 +41,7 @@ impl Default for FennelConfig {
             load_factor: 1.1,
             order: StreamOrder::Natural,
             passes: 1,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -62,16 +66,31 @@ impl Fennel {
 
 impl Partitioner for Fennel {
     fn partition(&self, graph: &CsrGraph, num_parts: usize) -> Partition {
+        self.partition_with_stats(graph, num_parts).0
+    }
+
+    fn partition_with_stats(&self, graph: &CsrGraph, num_parts: usize) -> (Partition, StreamStats) {
         assert!(num_parts > 0, "need at least one part");
         let n = graph.num_vertices();
         let m = graph.num_edges() as u64;
         let cfg = &self.config;
         assert!(cfg.passes >= 1, "need at least one streaming pass");
-        let alpha = cfg
-            .alpha
-            .unwrap_or_else(|| fennel_alpha(n, m, num_parts, cfg.gamma));
+        if n == 0 {
+            // Typed empty-stream guard: α is undefined over zero vertices
+            // (fennel_alpha would report StreamError::EmptyStream), and the
+            // empty partition is trivially correct.
+            return (
+                Partition::from_assignment(graph, num_parts, Vec::new()),
+                StreamStats::default(),
+            );
+        }
+        let alpha = match cfg.alpha {
+            Some(a) => a,
+            None => fennel_alpha(n, m, num_parts, cfg.gamma).expect("n > 0 checked above"),
+        };
         let order = cfg.order.order(graph);
         let mut previous: Option<Vec<crate::partition::PartId>> = None;
+        let mut stats = StreamStats::default();
         for _ in 0..cfg.passes {
             let outcome = stream_assign(
                 graph,
@@ -82,12 +101,17 @@ impl Partitioner for Fennel {
                     capacity: cfg.load_factor * n as f64 / num_parts as f64,
                     order: &order,
                     previous: previous.as_deref(),
+                    parallel: cfg.parallel,
                 },
                 |_| 1.0,
             );
+            stats.merge(&outcome.stats);
             previous = Some(outcome.assignment);
         }
-        Partition::from_assignment(graph, num_parts, previous.expect("at least one pass"))
+        (
+            Partition::from_assignment(graph, num_parts, previous.expect("at least one pass")),
+            stats,
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -180,6 +204,65 @@ mod tests {
         // restreamed vertex balance still respects the cap
         let cap = (1.1_f64 * g.num_vertices() as f64 / 8.0).ceil() as u64 + 1;
         assert!(three.vertex_counts().iter().all(|&c| c <= cap));
+    }
+
+    #[test]
+    fn empty_graph_short_circuits_the_undefined_alpha() {
+        let g = bpart_graph::CsrGraph::from_edges(0, &[]);
+        let p = Fennel::default().partition(&g, 4);
+        assert_eq!(p.vertex_counts(), &[0, 0, 0, 0]);
+        let (_, stats) = Fennel::default().partition_with_stats(&g, 4);
+        assert_eq!(stats.vertices, 0);
+    }
+
+    #[test]
+    fn parallel_mode_is_deterministic_and_balanced() {
+        let g = generate::twitter_like().generate_scaled(0.02);
+        let k = 8;
+        // Buffer ≈ 6% of the stream, matching the deployed buffer/graph
+        // ratio (DEFAULT_BUFFER_SIZE vs benchmark-scale vertex counts); the
+        // quality envelope is only meaningful at realistic ratios.
+        let make = |threads| {
+            Fennel::new(FennelConfig {
+                parallel: crate::streaming::ParallelConfig {
+                    threads,
+                    buffer_size: 128,
+                },
+                ..Default::default()
+            })
+        };
+        let a = make(4).partition(&g, k);
+        let b = make(4).partition(&g, k);
+        assert_eq!(a, b, "parallel run must be deterministic");
+        a.validate(&g).unwrap();
+        let cap = (1.1 * g.num_vertices() as f64 / k as f64).ceil() as u64 + 1;
+        assert!(a.vertex_counts().iter().all(|&c| c <= cap));
+        // Quality envelope versus the sequential baseline.
+        let seq_cut = metrics::edge_cut_ratio(&g, &Fennel::default().partition(&g, k));
+        let par_cut = metrics::edge_cut_ratio(&g, &a);
+        assert!(
+            par_cut <= seq_cut * 1.05 + 0.01,
+            "parallel cut {par_cut} vs sequential {seq_cut}"
+        );
+    }
+
+    #[test]
+    fn parallel_stats_expose_buffer_telemetry() {
+        let g = generate::lj_like().generate_scaled(0.01);
+        let f = Fennel::new(FennelConfig {
+            parallel: crate::streaming::ParallelConfig {
+                threads: 2,
+                buffer_size: 256,
+            },
+            ..Default::default()
+        });
+        let (p, stats) = f.partition_with_stats(&g, 4);
+        p.validate(&g).unwrap();
+        assert_eq!(stats.vertices, g.num_vertices());
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.buffers, g.num_vertices().div_ceil(256));
+        assert!(stats.sync_secs <= stats.secs);
+        assert!(stats.vertices_per_sec() > 0.0);
     }
 
     #[test]

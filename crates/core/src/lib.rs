@@ -65,6 +65,7 @@ pub use ldg::{Ldg, LdgConfig};
 pub use partition::{PartId, Partition};
 pub use partitioner::Partitioner;
 pub use stream::StreamOrder;
+pub use streaming::{BufferRecord, ParallelConfig, StreamError, StreamStats, DEFAULT_BUFFER_SIZE};
 
 /// Convenient glob import for examples and the harness.
 pub mod prelude {
@@ -78,4 +79,5 @@ pub mod prelude {
     pub use crate::partition::{PartId, Partition};
     pub use crate::partitioner::Partitioner;
     pub use crate::stream::StreamOrder;
+    pub use crate::streaming::{ParallelConfig, StreamStats};
 }

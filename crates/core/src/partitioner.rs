@@ -1,7 +1,9 @@
 //! The [`Partitioner`] trait all schemes implement.
 
 use crate::partition::Partition;
+use crate::streaming::StreamStats;
 use bpart_graph::CsrGraph;
+use std::time::Instant;
 
 /// A graph partitioning scheme: splits a graph's vertex set into `k`
 /// disjoint parts.
@@ -17,6 +19,23 @@ pub trait Partitioner {
     /// Implementations panic when `num_parts == 0`.
     fn partition(&self, graph: &CsrGraph, num_parts: usize) -> Partition;
 
+    /// Like [`Partitioner::partition`] but also returns throughput
+    /// telemetry. The default wraps `partition` in a wall-clock timer;
+    /// streaming schemes override it to surface per-buffer detail
+    /// (synchronization stalls, worker count).
+    fn partition_with_stats(&self, graph: &CsrGraph, num_parts: usize) -> (Partition, StreamStats) {
+        let start = Instant::now();
+        let partition = self.partition(graph, num_parts);
+        let stats = StreamStats {
+            vertices: graph.num_vertices(),
+            buffers: 0,
+            secs: start.elapsed().as_secs_f64(),
+            sync_secs: 0.0,
+            threads: 1,
+        };
+        (partition, stats)
+    }
+
     /// Short human-readable scheme name used in harness tables
     /// ("Chunk-V", "BPart", ...).
     fn name(&self) -> &'static str;
@@ -28,6 +47,9 @@ impl<T: Partitioner + ?Sized> Partitioner for &T {
     fn partition(&self, graph: &CsrGraph, num_parts: usize) -> Partition {
         (**self).partition(graph, num_parts)
     }
+    fn partition_with_stats(&self, graph: &CsrGraph, num_parts: usize) -> (Partition, StreamStats) {
+        (**self).partition_with_stats(graph, num_parts)
+    }
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -36,6 +58,9 @@ impl<T: Partitioner + ?Sized> Partitioner for &T {
 impl<T: Partitioner + ?Sized> Partitioner for Box<T> {
     fn partition(&self, graph: &CsrGraph, num_parts: usize) -> Partition {
         (**self).partition(graph, num_parts)
+    }
+    fn partition_with_stats(&self, graph: &CsrGraph, num_parts: usize) -> (Partition, StreamStats) {
+        (**self).partition_with_stats(graph, num_parts)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -57,5 +82,16 @@ mod tests {
         assert_eq!(boxed.name(), "Chunk-V");
         let by_ref = &ChunkV;
         assert_eq!(by_ref.partition(&g, 2), p);
+    }
+
+    #[test]
+    fn default_stats_time_the_whole_partition() {
+        let g = generate::ring(32);
+        let (p, stats) = ChunkV.partition_with_stats(&g, 4);
+        assert_eq!(p.num_parts(), 4);
+        assert_eq!(stats.vertices, 32);
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.buffers, 0);
+        assert!(stats.secs >= 0.0);
     }
 }

@@ -1,0 +1,455 @@
+//! Buffered-parallel streaming (after Chhabra et al.'s buffered streaming
+//! partitioning and Awadelkarim & Ugander's restreaming, adapted to the
+//! vertex-stream engine).
+//!
+//! The vertex order is cut into buffers of `buffer_size`. For each buffer:
+//!
+//! 1. **Snapshot** — restreamed vertices are first removed from their old
+//!    parts; the part weights `W_i` are then frozen for the buffer.
+//! 2. **Score** — the buffer is split into `threads` contiguous chunks, one
+//!    scoped worker thread per chunk. Each worker streams its chunk
+//!    *sequentially* against the snapshot plus a private overlay of its own
+//!    proposals, so intra-chunk affinity and balance drift are captured; the
+//!    other chunks' decisions stay invisible until the barrier.
+//! 3. **Commit barrier** — proposals are applied in buffer order, summing
+//!    the per-worker weight deltas back into the global `W_i`. Because the
+//!    workers scored against stale weights, a part may overshoot its
+//!    capacity once the deltas are reconciled; such proposals are repaired
+//!    by rescoring the vertex against the *current* weights with the exact
+//!    sequential rule, so the capacity invariant of the sequential pass
+//!    (`W_i < capacity` unless the part is the global minimum) also holds
+//!    in parallel mode.
+//! 4. **Intra-buffer restream** — the first commit places early buffer
+//!    vertices blind (their neighbors in other chunks were still unassigned
+//!    at scoring time), which costs edge-cut quality. The same worker pool
+//!    therefore re-streams the buffer once against the committed
+//!    assignment: each vertex is taken out of its part and re-scored with
+//!    the full buffer context visible, then recommitted. This recovers
+//!    near-sequential quality at one extra (parallel) scoring round — the
+//!    restream pass of the buffered-streaming literature.
+//!
+//! Determinism: chunk boundaries, worker scoring, and commit order depend
+//! only on `(order, threads, buffer_size)`, never on thread scheduling.
+//! With `buffer_size == 1` each buffer holds one vertex, the snapshot is
+//! never stale, the restream re-derives the identical choice, and the
+//! result is bit-identical to the sequential pass.
+//!
+//! The vendored `rayon` stand-in executes sequentially, so the worker pool
+//! is built directly on [`std::thread::scope`].
+
+use super::{
+    seed_state, BufferRecord, MinWeight, Scorer, StreamConfig, StreamOutcome, StreamStats,
+    UNASSIGNED,
+};
+use crate::partition::PartId;
+use bpart_graph::{CsrGraph, VertexId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Intra-buffer restream rounds after the initial commit (see module docs).
+const REFINE_PASSES: usize = 1;
+
+/// Mutable global state of a buffered pass, shared by the commit barriers.
+struct GlobalState {
+    assignment: Vec<PartId>,
+    vertex_counts: Vec<u64>,
+    edge_counts: Vec<u64>,
+    weights: Vec<f64>,
+    min_tracker: MinWeight,
+    // Commit-phase scratch (same touched-list trick as the sequential pass).
+    nbr_counts: Vec<u32>,
+    touched: Vec<PartId>,
+}
+
+impl GlobalState {
+    fn remove(&mut self, graph: &CsrGraph, v: VertexId, delta: f64) {
+        let old = self.assignment[v as usize];
+        debug_assert_ne!(old, UNASSIGNED);
+        self.assignment[v as usize] = UNASSIGNED;
+        self.vertex_counts[old as usize] -= 1;
+        self.edge_counts[old as usize] -= graph.out_degree(v) as u64;
+        // Clamped: rounding error must not go negative (see the sequential
+        // removal in mod.rs — negative weights break MinWeight's bit
+        // ordering and NaN-poison the balance penalty).
+        self.weights[old as usize] = (self.weights[old as usize] - delta).max(0.0);
+        self.min_tracker.push(old, self.weights[old as usize]);
+    }
+
+    fn apply(&mut self, graph: &CsrGraph, v: VertexId, part: PartId, delta: f64) {
+        self.assignment[v as usize] = part;
+        self.vertex_counts[part as usize] += 1;
+        self.edge_counts[part as usize] += graph.out_degree(v) as u64;
+        self.weights[part as usize] += delta;
+        self.min_tracker.push(part, self.weights[part as usize]);
+    }
+
+    /// Commits one proposal, rescoring against the live weights when the
+    /// stale snapshot let the proposed part fill past its capacity.
+    fn commit(&mut self, graph: &CsrGraph, scorer: &Scorer, v: VertexId, p: PartId, delta: f64) {
+        let min_part = self.min_tracker.min_part(&self.weights);
+        let part = if self.weights[p as usize] >= scorer.capacity && p != min_part {
+            for &w in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+                let q = self.assignment[w as usize];
+                if q != UNASSIGNED {
+                    if self.nbr_counts[q as usize] == 0 {
+                        self.touched.push(q);
+                    }
+                    self.nbr_counts[q as usize] += 1;
+                }
+            }
+            let repaired = scorer.choose(&self.touched, &self.nbr_counts, &self.weights, min_part);
+            for &q in &self.touched {
+                self.nbr_counts[q as usize] = 0;
+            }
+            self.touched.clear();
+            repaired
+        } else {
+            p
+        };
+        self.apply(graph, v, part, delta);
+    }
+}
+
+/// Runs one buffered-parallel streaming pass. See the module docs for the
+/// buffer/snapshot/commit/restream protocol.
+pub(super) fn stream_assign_buffered(
+    graph: &CsrGraph,
+    config: &StreamConfig<'_>,
+    weight_delta: &(impl Fn(VertexId) -> f64 + Sync),
+) -> StreamOutcome {
+    let k = config.num_parts;
+    assert!(k > 0, "need at least one part");
+    let threads = config.parallel.threads.max(1);
+    let buffer_size = config.parallel.buffer_size.max(1);
+
+    let (assignment, vertex_counts, edge_counts, weights) = seed_state(graph, config, weight_delta);
+    let min_tracker = MinWeight::new(&weights);
+    let mut state = GlobalState {
+        assignment,
+        vertex_counts,
+        edge_counts,
+        weights,
+        min_tracker,
+        nbr_counts: vec![0u32; k],
+        touched: Vec::new(),
+    };
+    let scorer = Scorer {
+        alpha: config.alpha,
+        gamma: config.gamma,
+        capacity: config.capacity,
+    };
+    let mut records = Vec::with_capacity(config.order.len() / buffer_size + 1);
+
+    for (buffer_idx, buffer) in config.order.chunks(buffer_size).enumerate() {
+        let buffer_start = Instant::now();
+        let mut sync_secs = 0.0;
+
+        // Restreaming: take the whole buffer out of its old parts before the
+        // snapshot, so workers never count a buffer vertex's stale placement.
+        for &v in buffer {
+            if state.assignment[v as usize] != UNASSIGNED {
+                debug_assert!(config.previous.is_some(), "vertex {v} streamed twice");
+                state.remove(graph, v, weight_delta(v));
+            }
+        }
+
+        let chunk_len = buffer.len().div_ceil(threads);
+        let chunks: Vec<&[VertexId]> = buffer.chunks(chunk_len).collect();
+
+        // Initial round places the buffer; restream rounds re-score it with
+        // the committed buffer context visible (restream = true).
+        for round in 0..=REFINE_PASSES {
+            let restream = round > 0;
+            let proposals: Vec<Vec<PartId>> = std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&chunk| {
+                        let state = &state;
+                        let scorer = &scorer;
+                        s.spawn(move || {
+                            score_chunk(graph, chunk, state, scorer, weight_delta, restream)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("streaming worker panicked"))
+                    .collect()
+            });
+
+            // Commit barrier: reconcile the workers' weight deltas in buffer
+            // order, repairing capacity overshoot against the live weights.
+            let sync_start = Instant::now();
+            for (chunk, proposal) in chunks.iter().zip(&proposals) {
+                for (&v, &p) in chunk.iter().zip(proposal) {
+                    let delta = weight_delta(v);
+                    if restream {
+                        state.remove(graph, v, delta);
+                    }
+                    state.commit(graph, &scorer, v, p, delta);
+                }
+            }
+            sync_secs += sync_start.elapsed().as_secs_f64();
+        }
+
+        records.push(BufferRecord {
+            buffer: buffer_idx,
+            vertices: buffer.len(),
+            secs: buffer_start.elapsed().as_secs_f64(),
+            sync_secs,
+        });
+    }
+
+    StreamOutcome {
+        assignment: state.assignment,
+        vertex_counts: state.vertex_counts,
+        edge_counts: state.edge_counts,
+        buffers: records,
+        stats: StreamStats::default(),
+    }
+}
+
+/// Streams one chunk sequentially against the weight snapshot plus a private
+/// overlay of the chunk's own proposals. In restream mode each vertex is
+/// first taken out of its committed part (locally) so it re-scores itself
+/// with the rest of the buffer visible. Pure w.r.t. shared state: the only
+/// output is the proposal vector, applied later at the commit barrier.
+fn score_chunk(
+    graph: &CsrGraph,
+    chunk: &[VertexId],
+    state: &GlobalState,
+    scorer: &Scorer,
+    weight_delta: &(impl Fn(VertexId) -> f64 + Sync),
+    restream: bool,
+) -> Vec<PartId> {
+    let base_assignment = &state.assignment;
+    let k = state.weights.len();
+    let mut weights = state.weights.clone();
+    let mut min_tracker = MinWeight::new(&weights);
+    let mut overlay: HashMap<VertexId, PartId> = HashMap::with_capacity(chunk.len());
+    let mut nbr_counts = vec![0u32; k];
+    let mut touched: Vec<PartId> = Vec::new();
+    let mut proposals = Vec::with_capacity(chunk.len());
+
+    for &v in chunk {
+        if restream {
+            // Take the vertex out of its committed part before re-scoring,
+            // mirroring the sequential restream rule chunk-locally.
+            let old = overlay
+                .get(&v)
+                .copied()
+                .unwrap_or(base_assignment[v as usize]);
+            debug_assert_ne!(old, UNASSIGNED, "restream round on unplaced vertex");
+            overlay.insert(v, UNASSIGNED);
+            // Same negative-weight clamp as the commit-side removal.
+            weights[old as usize] = (weights[old as usize] - weight_delta(v)).max(0.0);
+            min_tracker.push(old, weights[old as usize]);
+        }
+        for &w in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+            let p = overlay
+                .get(&w)
+                .copied()
+                .unwrap_or(base_assignment[w as usize]);
+            if p != UNASSIGNED {
+                if nbr_counts[p as usize] == 0 {
+                    touched.push(p);
+                }
+                nbr_counts[p as usize] += 1;
+            }
+        }
+        let min_part = min_tracker.min_part(&weights);
+        let part = scorer.choose(&touched, &nbr_counts, &weights, min_part);
+        proposals.push(part);
+        overlay.insert(v, part);
+        weights[part as usize] += weight_delta(v);
+        min_tracker.push(part, weights[part as usize]);
+
+        for &p in &touched {
+            nbr_counts[p as usize] = 0;
+        }
+        touched.clear();
+    }
+    proposals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{fennel_alpha, stream_assign, ParallelConfig, StreamConfig};
+    use super::*;
+    use bpart_graph::generate;
+
+    fn config<'a>(
+        graph: &CsrGraph,
+        k: usize,
+        order: &'a [VertexId],
+        parallel: ParallelConfig,
+    ) -> StreamConfig<'a> {
+        StreamConfig {
+            num_parts: k,
+            gamma: 1.5,
+            alpha: fennel_alpha(graph.num_vertices(), graph.num_edges() as u64, k, 1.5)
+                .expect("non-empty graph"),
+            capacity: 1.1 * graph.num_vertices() as f64 / k as f64,
+            order,
+            previous: None,
+            parallel,
+        }
+    }
+
+    #[test]
+    fn parallel_covers_all_vertices_and_respects_capacity() {
+        let g = generate::erdos_renyi(500, 3_000, 7);
+        let order: Vec<VertexId> = g.vertices().collect();
+        for threads in [2, 3, 4] {
+            let cfg = config(
+                &g,
+                4,
+                &order,
+                ParallelConfig {
+                    threads,
+                    buffer_size: 64,
+                },
+            );
+            let out = stream_assign(&g, &cfg, |_| 1.0);
+            assert!(out.assignment.iter().all(|&p| p != UNASSIGNED));
+            assert_eq!(out.vertex_counts.iter().sum::<u64>(), 500);
+            assert_eq!(out.edge_counts.iter().sum::<u64>(), 3_000);
+            let cap = (1.1_f64 * 500.0 / 4.0).ceil() as u64 + 1;
+            for &c in &out.vertex_counts {
+                assert!(c <= cap, "threads={threads}: part size {c} > {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_size_one_matches_sequential_exactly() {
+        let g = generate::twitter_like().generate_scaled(0.005);
+        let order: Vec<VertexId> = g.vertices().collect();
+        let seq = stream_assign(
+            &g,
+            &config(&g, 8, &order, ParallelConfig::default()),
+            |_| 1.0,
+        );
+        for threads in [2, 4] {
+            let par = stream_assign(
+                &g,
+                &config(
+                    &g,
+                    8,
+                    &order,
+                    ParallelConfig {
+                        threads,
+                        buffer_size: 1,
+                    },
+                ),
+                |_| 1.0,
+            );
+            assert_eq!(
+                par.assignment, seq.assignment,
+                "threads={threads} diverged from sequential at buffer_size=1"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_shape() {
+        let g = generate::lj_like().generate_scaled(0.005);
+        let order: Vec<VertexId> = g.vertices().collect();
+        let shape = ParallelConfig {
+            threads: 4,
+            buffer_size: 128,
+        };
+        let a = stream_assign(&g, &config(&g, 8, &order, shape), |_| 1.0);
+        let b = stream_assign(&g, &config(&g, 8, &order, shape), |_| 1.0);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn records_one_buffer_per_window() {
+        let g = generate::erdos_renyi(300, 1_500, 11);
+        let order: Vec<VertexId> = g.vertices().collect();
+        let out = stream_assign(
+            &g,
+            &config(
+                &g,
+                4,
+                &order,
+                ParallelConfig {
+                    threads: 2,
+                    buffer_size: 100,
+                },
+            ),
+            |_| 1.0,
+        );
+        assert_eq!(out.buffers.len(), 3);
+        assert_eq!(out.stats.buffers, 3);
+        assert_eq!(out.buffers.iter().map(|b| b.vertices).sum::<usize>(), 300);
+        assert!(out.buffers.iter().all(|b| b.sync_secs <= b.secs));
+        assert_eq!(out.stats.threads, 2);
+        assert!(out.stats.secs > 0.0);
+    }
+
+    #[test]
+    fn parallel_restreaming_stays_valid() {
+        let g = generate::erdos_renyi(300, 2_400, 4);
+        let order: Vec<VertexId> = g.vertices().collect();
+        let shape = ParallelConfig {
+            threads: 3,
+            buffer_size: 50,
+        };
+        let first = stream_assign(&g, &config(&g, 4, &order, shape), |_| 1.0);
+        let mut again = config(&g, 4, &order, shape);
+        again.previous = Some(&first.assignment);
+        let second = stream_assign(&g, &again, |_| 1.0);
+        assert!(second.assignment.iter().all(|&p| p != UNASSIGNED));
+        assert_eq!(second.vertex_counts.iter().sum::<u64>(), 300);
+        assert_eq!(second.edge_counts.iter().sum::<u64>(), 2_400);
+    }
+
+    #[test]
+    fn quality_stays_near_sequential_on_power_law_graph() {
+        // The quality envelope the perf gate enforces in CI, checked here at
+        // unit scale: buffered scoring must not blow up the edge cut. The
+        // buffer is sized to ~6% of the stream, the same buffer/graph ratio
+        // the gate runs at (DEFAULT_BUFFER_SIZE against benchmark-scale
+        // graphs); a buffer spanning half the graph has no committed context
+        // to score against and is outside the supported envelope.
+        let g = generate::twitter_like().generate_scaled(0.02);
+        let order: Vec<VertexId> = g.vertices().collect();
+        let cut = |assignment: &[PartId]| {
+            let cut_edges: usize = g
+                .vertices()
+                .map(|v| {
+                    g.out_neighbors(v)
+                        .iter()
+                        .filter(|&&w| assignment[w as usize] != assignment[v as usize])
+                        .count()
+                })
+                .sum();
+            cut_edges as f64 / g.num_edges() as f64
+        };
+        let seq = stream_assign(
+            &g,
+            &config(&g, 8, &order, ParallelConfig::default()),
+            |_| 1.0,
+        );
+        let par = stream_assign(
+            &g,
+            &config(
+                &g,
+                8,
+                &order,
+                ParallelConfig {
+                    threads: 4,
+                    buffer_size: 128,
+                },
+            ),
+            |_| 1.0,
+        );
+        let (cs, cp) = (cut(&seq.assignment), cut(&par.assignment));
+        assert!(
+            cp <= cs * 1.05 + 0.01,
+            "parallel cut {cp} degraded >5% vs sequential {cs}"
+        );
+    }
+}
