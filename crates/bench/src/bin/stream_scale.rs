@@ -11,12 +11,18 @@
 //! engine default), keeping the buffer/stream ratio — which is what the
 //! quality envelope depends on — stable across `BPART_SCALE` values.
 //!
-//! Output lands in `BENCH_stream.json`. With `BPART_GATE=1` the binary
-//! exits non-zero if any 2-thread run degrades the edge cut by more than
-//! 5% (plus an absolute 0.01 floor) over the sequential run — the CI
-//! perf gate.
+//! Output lands in `BENCH_stream.json`, together with the run's metrics
+//! registry snapshot (`stream.sync_ns` etc., see DESIGN.md §10) so CI can
+//! compare sync-stall behaviour across commits, and a span-tracing
+//! overhead measurement (the same sequential pass with the tracer off vs
+//! on, min of N repetitions each).
+//!
+//! With `BPART_GATE=1` the binary exits non-zero if any 2-thread run
+//! degrades the edge cut by more than 5% (plus an absolute 0.01 floor)
+//! over the sequential run, or if span tracing costs more than 3% (plus
+//! a 10ms floor against timer noise on tiny scales) — the CI perf gate.
 
-use bpart_bench::{banner, dataset, json, render_table, write_bench_json};
+use bpart_bench::{banner, dataset, json, render_table, timed, write_bench_json};
 use bpart_core::bpart::WeightedStream;
 use bpart_core::metrics;
 use bpart_core::prelude::*;
@@ -116,6 +122,41 @@ fn main() {
          determinism and the quality envelope."
     );
 
+    // Span-tracing overhead: the identical sequential pass with the tracer
+    // off (the release default) vs on. Min-of-N per side filters scheduler
+    // noise; the gate below adds an absolute floor for tiny scales.
+    const OBS_REPS: usize = 3;
+    let measure = |reps: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let scheme = scheme_at(
+                "BPart-P1",
+                ParallelConfig {
+                    threads: 1,
+                    buffer_size,
+                },
+            );
+            let (_, secs) = timed(|| scheme.partition(&g, K));
+            best = best.min(secs);
+        }
+        best
+    };
+    bpart_obs::set_trace_enabled(false);
+    let secs_traced_off = measure(OBS_REPS);
+    bpart_obs::set_trace_enabled(true);
+    bpart_obs::clear_trace();
+    let secs_traced_on = measure(OBS_REPS);
+    bpart_obs::set_trace_enabled(false);
+    let overhead = if secs_traced_off > 0.0 {
+        secs_traced_on / secs_traced_off - 1.0
+    } else {
+        0.0
+    };
+    println!(
+        "tracing overhead: off {secs_traced_off:.4}s, on {secs_traced_on:.4}s ({:+.1}%)\n",
+        overhead * 100.0
+    );
+
     let items: Vec<String> = runs
         .iter()
         .map(|r| {
@@ -131,6 +172,51 @@ fn main() {
             ])
         })
         .collect();
+    // Attach the metrics registry accumulated over all runs above: the
+    // per-layer counters let CI diff sync-stall time across commits
+    // without re-parsing the table, and the full exposition rides along
+    // for ad-hoc inspection.
+    let obs_metrics = json::object(&[
+        (
+            "stream_vertices",
+            bpart_obs::metrics::counter("stream.vertices")
+                .get()
+                .to_string(),
+        ),
+        (
+            "stream_pass_ns",
+            bpart_obs::metrics::counter("stream.pass_ns")
+                .get()
+                .to_string(),
+        ),
+        (
+            "stream_sync_ns",
+            bpart_obs::metrics::counter("stream.sync_ns")
+                .get()
+                .to_string(),
+        ),
+        (
+            "stream_score_ns",
+            bpart_obs::metrics::counter("stream.score_ns")
+                .get()
+                .to_string(),
+        ),
+        (
+            "stream_commit_ns",
+            bpart_obs::metrics::counter("stream.commit_ns")
+                .get()
+                .to_string(),
+        ),
+        (
+            "exposition",
+            json::string(&bpart_obs::metrics::prometheus_snapshot()),
+        ),
+    ]);
+    let obs_overhead = json::object(&[
+        ("secs_traced_off", json::number(secs_traced_off)),
+        ("secs_traced_on", json::number(secs_traced_on)),
+        ("overhead", json::number(overhead)),
+    ]);
     let doc = json::object(&[
         ("bench", json::string("stream_scale")),
         ("dataset", json::string("lj_like")),
@@ -138,6 +224,8 @@ fn main() {
         ("k", K.to_string()),
         ("buffer_size", buffer_size.to_string()),
         ("runs", json::array(&items)),
+        ("metrics", obs_metrics),
+        ("tracing", obs_overhead),
     ]);
     write_bench_json("BENCH_stream.json", &doc);
 
@@ -159,9 +247,22 @@ fn main() {
                 }
             }
         }
+        // Instrumentation must be cheap enough to leave on in release
+        // builds: tracing on may not cost more than 3% over tracing off
+        // (10ms absolute floor so timer noise at tiny BPART_SCALE values
+        // cannot flake the gate).
+        if secs_traced_on > secs_traced_off * 1.03 + 0.01 {
+            eprintln!(
+                "PERF GATE: span tracing overhead {:.1}% exceeds 3% \
+                 (off {secs_traced_off:.4}s, on {secs_traced_on:.4}s)",
+                overhead * 100.0
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
         println!("perf gate: 2-thread edge cut within 5% of sequential");
+        println!("perf gate: span-tracing overhead within 3% of untraced");
     }
 }

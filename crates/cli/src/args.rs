@@ -16,7 +16,7 @@ pub enum Command {
     /// `bpart stats GRAPH`
     Stats { graph: String },
     /// `bpart partition GRAPH --parts K [--scheme S] [--out FILE]
-    /// [--threads T] [--buffer-size B]`
+    /// [--threads T] [--buffer-size B] [--trace-out FILE] [--metrics-out FILE]`
     Partition {
         graph: String,
         parts: usize,
@@ -24,12 +24,15 @@ pub enum Command {
         out: Option<String>,
         threads: usize,
         buffer_size: usize,
+        trace_out: Option<String>,
+        metrics_out: Option<String>,
     },
     /// `bpart quality GRAPH PARTITION`
     Quality { graph: String, partition: String },
     /// `bpart run GRAPH --parts K [--scheme S] [--app A] [--iters N]
     /// [--walk-len L] [--seed N] [--mode M] [--fault-plan SPEC]
-    /// [--checkpoint-every N] [--threads T] [--buffer-size B]`
+    /// [--checkpoint-every N] [--threads T] [--buffer-size B]
+    /// [--trace-out FILE] [--metrics-out FILE]`
     Run {
         graph: String,
         parts: usize,
@@ -43,7 +46,11 @@ pub enum Command {
         checkpoint_every: Option<usize>,
         threads: usize,
         buffer_size: usize,
+        trace_out: Option<String>,
+        metrics_out: Option<String>,
     },
+    /// `bpart report TRACE`
+    Report { trace: String },
     /// `bpart convert SRC DST`
     Convert { src: String, dst: String },
     /// `bpart schemes`
@@ -139,9 +146,18 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 .to_string();
             let out = get_optional(&flags, "out").map(str::to_string);
             let (threads, buffer_size) = parse_parallel(&flags)?;
+            let (trace_out, metrics_out) = parse_obs(&flags);
             check_unknown(
                 &flags,
-                &["parts", "scheme", "out", "threads", "buffer-size"],
+                &[
+                    "parts",
+                    "scheme",
+                    "out",
+                    "threads",
+                    "buffer-size",
+                    "trace-out",
+                    "metrics-out",
+                ],
             )?;
             Ok(Command::Partition {
                 graph,
@@ -150,6 +166,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 out,
                 threads,
                 buffer_size,
+                trace_out,
+                metrics_out,
             })
         }
         "run" => {
@@ -206,6 +224,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 None => None,
             };
             let (threads, buffer_size) = parse_parallel(&flags)?;
+            let (trace_out, metrics_out) = parse_obs(&flags);
             check_unknown(
                 &flags,
                 &[
@@ -220,6 +239,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "checkpoint-every",
                     "threads",
                     "buffer-size",
+                    "trace-out",
+                    "metrics-out",
                 ],
             )?;
             Ok(Command::Run {
@@ -235,7 +256,21 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 checkpoint_every,
                 threads,
                 buffer_size,
+                trace_out,
+                metrics_out,
             })
+        }
+        "report" => {
+            let (flags, positional) = split_flags(&rest)?;
+            check_unknown(&flags, &[])?;
+            match positional.as_slice() {
+                [trace] => Ok(Command::Report {
+                    trace: trace.to_string(),
+                }),
+                other => Err(err(format!(
+                    "report takes one TRACE argument (a JSONL file from --trace-out), got {other:?}"
+                ))),
+            }
         }
         "quality" => {
             let (flags, positional) = split_flags(&rest)?;
@@ -288,6 +323,15 @@ fn parse_parallel(flags: &[(&str, &str)]) -> Result<(usize, usize), ParseError> 
         return Err(err("--buffer-size must be at least 1"));
     }
     Ok((threads, buffer_size))
+}
+
+/// Parses the shared `--trace-out` / `--metrics-out` observability flags
+/// (both optional; see DESIGN.md §10).
+fn parse_obs(flags: &[(&str, &str)]) -> (Option<String>, Option<String>) {
+    (
+        get_optional(flags, "trace-out").map(str::to_string),
+        get_optional(flags, "metrics-out").map(str::to_string),
+    )
 }
 
 /// `--flag value` pairs collected by [`split_flags`].
@@ -376,8 +420,60 @@ mod tests {
                 out: None,
                 threads: 1,
                 buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+                trace_out: None,
+                metrics_out: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cmd = p(&[
+            "partition",
+            "g.txt",
+            "--parts",
+            "8",
+            "--trace-out",
+            "t.jsonl",
+            "--metrics-out",
+            "m.prom",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Partition {
+                trace_out,
+                metrics_out,
+                ..
+            } => {
+                assert_eq!(trace_out.as_deref(), Some("t.jsonl"));
+                assert_eq!(metrics_out.as_deref(), Some("m.prom"));
+            }
+            other => panic!("expected Partition, got {other:?}"),
+        }
+        let cmd = p(&["run", "g.txt", "--parts", "4", "--trace-out", "t.jsonl"]).unwrap();
+        match cmd {
+            Command::Run {
+                trace_out,
+                metrics_out,
+                ..
+            } => {
+                assert_eq!(trace_out.as_deref(), Some("t.jsonl"));
+                assert_eq!(metrics_out, None);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_report() {
+        assert_eq!(
+            p(&["report", "trace.jsonl"]).unwrap(),
+            Command::Report {
+                trace: "trace.jsonl".into()
+            }
+        );
+        assert!(p(&["report"]).is_err());
+        assert!(p(&["report", "a", "b"]).is_err());
     }
 
     #[test]
@@ -445,6 +541,8 @@ mod tests {
                 checkpoint_every: None,
                 threads: 1,
                 buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+                trace_out: None,
+                metrics_out: None,
             }
         );
     }

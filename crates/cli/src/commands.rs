@@ -54,16 +54,23 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             out,
             threads,
             buffer_size,
-        } => partition_cmd(
-            graph,
-            *parts,
-            scheme,
-            out.as_deref(),
-            ParallelConfig {
-                threads: *threads,
-                buffer_size: *buffer_size,
-            },
-        ),
+            trace_out,
+            metrics_out,
+        } => {
+            let obs = ObsExports::begin(trace_out.as_deref(), metrics_out.as_deref());
+            let mut text = partition_cmd(
+                graph,
+                *parts,
+                scheme,
+                out.as_deref(),
+                ParallelConfig {
+                    threads: *threads,
+                    buffer_size: *buffer_size,
+                },
+            )?;
+            obs.finish(&mut text)?;
+            Ok(text)
+        }
         Command::Quality { graph, partition } => quality_cmd(graph, partition),
         Command::Convert { src, dst } => convert_cmd(src, dst),
         Command::Run {
@@ -79,23 +86,80 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             checkpoint_every,
             threads,
             buffer_size,
-        } => run_cmd(
-            graph,
-            *parts,
-            scheme,
-            app,
-            *iters,
-            *walk_len,
-            *seed,
-            mode,
-            fault_plan.as_deref(),
-            *checkpoint_every,
-            ParallelConfig {
-                threads: *threads,
-                buffer_size: *buffer_size,
-            },
-        ),
+            trace_out,
+            metrics_out,
+        } => {
+            let obs = ObsExports::begin(trace_out.as_deref(), metrics_out.as_deref());
+            let mut text = run_cmd(
+                graph,
+                *parts,
+                scheme,
+                app,
+                *iters,
+                *walk_len,
+                *seed,
+                mode,
+                fault_plan.as_deref(),
+                *checkpoint_every,
+                ParallelConfig {
+                    threads: *threads,
+                    buffer_size: *buffer_size,
+                },
+            )?;
+            obs.finish(&mut text)?;
+            Ok(text)
+        }
+        Command::Report { trace } => report_cmd(trace),
     }
+}
+
+/// Observability exports requested via `--trace-out` / `--metrics-out`.
+///
+/// `begin` arms the global tracer (and resets any spans left over from a
+/// previous command in the same process) before the workload runs; `finish`
+/// writes the requested files afterwards and appends a line per file to the
+/// report so the user knows where to look.
+struct ObsExports<'a> {
+    trace_out: Option<&'a str>,
+    metrics_out: Option<&'a str>,
+}
+
+impl<'a> ObsExports<'a> {
+    fn begin(trace_out: Option<&'a str>, metrics_out: Option<&'a str>) -> Self {
+        if trace_out.is_some() {
+            bpart_obs::set_trace_enabled(true);
+            bpart_obs::clear_trace();
+        }
+        ObsExports {
+            trace_out,
+            metrics_out,
+        }
+    }
+
+    fn finish(&self, text: &mut String) -> Result<(), CliError> {
+        if let Some(path) = self.trace_out {
+            let written = bpart_obs::export::write_trace_jsonl(Path::new(path))
+                .map_err(|e| fail(format!("cannot write trace {path}: {e}")))?;
+            bpart_obs::set_trace_enabled(false);
+            text.push_str(&format!(
+                "  wrote {written} spans to {path} (inspect with `bpart report {path}`)\n"
+            ));
+        }
+        if let Some(path) = self.metrics_out {
+            bpart_obs::export::write_metrics_text(Path::new(path))
+                .map_err(|e| fail(format!("cannot write metrics {path}: {e}")))?;
+            text.push_str(&format!("  wrote metrics snapshot to {path}\n"));
+        }
+        Ok(())
+    }
+}
+
+fn report_cmd(trace_path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| fail(format!("cannot open {trace_path}: {e}")))?;
+    let spans = bpart_obs::report::parse_trace_jsonl(&text)
+        .map_err(|e| fail(format!("{trace_path}: {e}")))?;
+    Ok(bpart_obs::report::render_report(&spans))
 }
 
 /// All scheme names accepted by `--scheme`.
@@ -407,6 +471,17 @@ fn telemetry_report(t: &Telemetry, iterations: usize) -> String {
     out.push_str(&format!("  supersteps:      {iterations}\n"));
     out.push_str(&format!("  total time:      {:.2} units\n", t.total_time()));
     out.push_str(&format!("  waiting ratio:   {:.4}\n", t.waiting_ratio()));
+    // Per-machine waiting breakdown (the paper's Fig. 13 view): which
+    // machines sit idle at the superstep barrier and by how much.
+    let summary = t.summary();
+    for (m, w) in summary.machines.iter().enumerate() {
+        out.push_str(&format!(
+            "    m{m}: compute {:.2}, waiting {:.2} ({:.1}%)\n",
+            w.compute,
+            w.waiting,
+            w.ratio * 100.0
+        ));
+    }
     out.push_str(&format!("  messages:        {}\n", t.total_messages()));
     out.push_str(&format!("  faults injected: {}\n", t.total_faults()));
     out.push_str(&format!("  replayed steps:  {}\n", t.replayed_supersteps()));
@@ -490,6 +565,8 @@ mod tests {
             out: Some(pp.clone()),
             threads: 1,
             buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+            trace_out: None,
+            metrics_out: None,
         });
         assert!(out.contains("edge-cut ratio"), "{out}");
 
@@ -556,6 +633,8 @@ mod tests {
             out: Some(pp.clone()),
             threads: 1,
             buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+            trace_out: None,
+            metrics_out: None,
         });
         let out = runs(Command::Quality {
             graph: gp.clone(),
@@ -583,6 +662,8 @@ mod tests {
             out: None,
             threads: 2,
             buffer_size: 128,
+            trace_out: None,
+            metrics_out: None,
         });
         assert!(out.contains("throughput:"), "{out}");
         assert!(out.contains("2 threads"), "{out}");
@@ -603,6 +684,8 @@ mod tests {
             checkpoint_every: None,
             threads: 2,
             buffer_size: 128,
+            trace_out: None,
+            metrics_out: None,
         })
         .unwrap();
         assert!(out.contains("partition stage:"), "{out}");
@@ -640,6 +723,8 @@ mod tests {
             checkpoint_every: Some(2),
             threads: 1,
             buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+            trace_out: None,
+            metrics_out: None,
         })
     }
 
@@ -672,6 +757,79 @@ mod tests {
         assert!(e.to_string().contains("unknown app"), "{e}");
 
         std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn run_with_trace_and_metrics_exports_and_reports() {
+        let graph_path = tmp("obs.txt");
+        let trace_path = tmp("obs.jsonl");
+        let metrics_path = tmp("obs.prom");
+        let gp = graph_path.to_str().unwrap().to_string();
+        let tp = trace_path.to_str().unwrap().to_string();
+        let mp = metrics_path.to_str().unwrap().to_string();
+        runs(Command::Generate {
+            preset: "lj_like".into(),
+            scale: 0.01,
+            seed: Some(5),
+            out: gp.clone(),
+        });
+
+        let out = runs(Command::Run {
+            graph: gp.clone(),
+            parts: 4,
+            scheme: "bpart".into(),
+            app: "pagerank".into(),
+            iters: 3,
+            walk_len: 5,
+            seed: 7,
+            mode: "sequential".into(),
+            fault_plan: None,
+            checkpoint_every: None,
+            threads: 1,
+            buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+            trace_out: Some(tp.clone()),
+            metrics_out: Some(mp.clone()),
+        });
+        // Per-machine waiting breakdown (Fig. 13) is in the run report.
+        assert!(out.contains("m0: compute"), "{out}");
+        assert!(out.contains("wrote metrics snapshot"), "{out}");
+
+        // The trace parses and the report shows the instrumented phases.
+        let report = runs(Command::Report { trace: tp.clone() });
+        assert!(report.contains("cluster.superstep"), "{report}");
+        assert!(report.contains("stream.pass"), "{report}");
+        assert!(report.contains("per-phase totals"), "{report}");
+
+        // The metrics snapshot is a Prometheus-style exposition covering
+        // the streaming and cluster layers.
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(prom.contains("# TYPE stream_vertices counter"), "{prom}");
+        assert!(prom.contains("cluster_supersteps"), "{prom}");
+
+        // Reporting on the metrics file (not JSONL) fails with a line number.
+        let e = run(&Command::Report { trace: mp.clone() }).unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+        for p in [graph_path, trace_path, metrics_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn report_rejects_malformed_traces() {
+        let bad_path = tmp("bad_trace.jsonl");
+        std::fs::write(&bad_path, "not json\n").unwrap();
+        let e = run(&Command::Report {
+            trace: bad_path.to_str().unwrap().into(),
+        })
+        .unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+        std::fs::remove_file(bad_path).ok();
+
+        let e = run(&Command::Report {
+            trace: "/no/such/trace.jsonl".into(),
+        })
+        .unwrap_err();
+        assert!(e.to_string().contains("/no/such/trace.jsonl"), "{e}");
     }
 
     #[test]

@@ -39,11 +39,13 @@ USAGE:
 [--scale F] [--seed N] --out FILE
   bpart stats     GRAPH
   bpart partition GRAPH --parts K [--scheme NAME] [--out FILE] \
-[--threads T] [--buffer-size B]
+[--threads T] [--buffer-size B] [--trace-out FILE] [--metrics-out FILE]
   bpart quality   GRAPH PARTITION
   bpart run       GRAPH --parts K [--scheme NAME] [--app APP] [--iters N] \
 [--walk-len L] [--seed N] [--mode sequential|threaded] [--fault-plan SPEC] \
-[--checkpoint-every N] [--threads T] [--buffer-size B]
+[--checkpoint-every N] [--threads T] [--buffer-size B] \
+[--trace-out FILE] [--metrics-out FILE]
+  bpart report    TRACE
   bpart convert   SRC DST
   bpart schemes
 
@@ -68,6 +70,12 @@ PARALLEL STREAMING (partition/run, streaming schemes only):
   --threads T      scoring worker threads (default 1 = exact sequential)
   --buffer-size B  vertices scored per weight-sync window (default 4096);
                    B=1 reproduces the sequential result for any T
+
+OBSERVABILITY (partition/run; see DESIGN.md §10):
+  --trace-out FILE    dump hierarchical phase spans as JSON lines; render
+                      the flame-style tree with `bpart report FILE`
+  --metrics-out FILE  dump the counter/gauge/histogram registry as a
+                      Prometheus-style text snapshot
 
 FILES:
   *.bpgr  binary CSR graph        (anything else: text edge list)

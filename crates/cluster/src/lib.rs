@@ -35,7 +35,7 @@ pub mod telemetry;
 pub use cost::{CostModel, WorkUnits};
 pub use fault::{FaultPlan, FaultState, LinkOverhead, MachineFailure, UnrecoverableFailure};
 pub use router::Router;
-pub use telemetry::{IterationRecord, Telemetry};
+pub use telemetry::{IterationRecord, MachineWaiting, Telemetry, TelemetrySummary};
 
 use bpart_core::{PartId, Partition};
 use bpart_graph::{CsrGraph, VertexId};

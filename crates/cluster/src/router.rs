@@ -122,6 +122,11 @@ impl<M> Router<M> {
 
     /// The BSP barrier: delivers all staged messages.
     pub fn exchange(&mut self) -> Exchange<M> {
+        use std::sync::OnceLock;
+        static MESSAGES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+        static BYTES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+
+        let mut span = bpart_obs::span("cluster.exchange");
         let k = self.num_machines();
         let mut ex = Exchange {
             inboxes: (0..k).map(|_| Vec::new()).collect(),
@@ -137,6 +142,14 @@ impl<M> Router<M> {
             }
             self.sent_total[from] += ex.sent[from];
         }
+        let delivered: u64 = ex.sent.iter().sum();
+        span.attr("messages", delivered);
+        MESSAGES
+            .get_or_init(|| bpart_obs::metrics::counter("exchange.messages"))
+            .add(delivered);
+        BYTES
+            .get_or_init(|| bpart_obs::metrics::counter("exchange.bytes"))
+            .add(delivered * std::mem::size_of::<M>() as u64);
         ex
     }
 }

@@ -13,6 +13,21 @@
 
 use bpart_core::StreamStats;
 use parking_lot::Mutex;
+use std::sync::OnceLock;
+
+/// NaN-propagating max fold. `f64::max` ignores NaN on *either* side
+/// (`NaN.max(x) == x`), so folding with it silently reports a poisoned
+/// compute time as the fastest machine; a NaN must instead poison the
+/// aggregate so it is visible in reports.
+fn max_nan_propagating(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, |acc, v| {
+        if acc.is_nan() || v.is_nan() {
+            f64::NAN
+        } else {
+            acc.max(v)
+        }
+    })
+}
 
 /// One superstep's timings.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -37,22 +52,55 @@ pub struct IterationRecord {
 impl IterationRecord {
     /// Wall time of this superstep: slowest compute plus slowest comm,
     /// plus any recovery work (rollback happens with the cluster stalled).
+    /// A NaN timing propagates into the result instead of being masked.
     pub fn wall_time(&self) -> f64 {
-        let max_c = self.compute.iter().cloned().fold(0.0, f64::max);
-        let max_m = self.comm.iter().cloned().fold(0.0, f64::max);
+        let max_c = max_nan_propagating(&self.compute);
+        let max_m = max_nan_propagating(&self.comm);
         max_c + max_m + self.recovery
     }
 
     /// Waiting time of each machine in this superstep's computation phase.
+    /// A NaN compute time poisons every machine's waiting time (the barrier
+    /// release time is unknowable).
     pub fn waiting(&self) -> Vec<f64> {
-        let max_c = self.compute.iter().cloned().fold(0.0, f64::max);
+        let max_c = max_nan_propagating(&self.compute);
         self.compute.iter().map(|&c| max_c - c).collect()
     }
+}
+
+/// Per-machine slice of a [`Telemetry::summary`]: the paper's Fig. 13
+/// quantities for one machine.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MachineWaiting {
+    /// Total compute time across all supersteps.
+    pub compute: f64,
+    /// Total time spent waiting at the computation barrier.
+    pub waiting: f64,
+    /// This machine's waiting as a fraction of total running time
+    /// (`waiting / total_time`, Fig. 13's per-machine bar).
+    pub ratio: f64,
+}
+
+/// Run-level aggregate of a [`Telemetry`]: total time, the global waiting
+/// ratio, and the per-machine breakdown behind it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySummary {
+    /// Total modelled running time.
+    pub total_time: f64,
+    /// Global waiting ratio (Fig. 13's headline number).
+    pub waiting_ratio: f64,
+    /// Per-machine waiting breakdown, indexed by machine id.
+    pub machines: Vec<MachineWaiting>,
 }
 
 /// Accumulates iteration records for one application run. Interior-mutable
 /// (a `parking_lot` mutex) so threaded executors can record without
 /// plumbing `&mut` through machine closures.
+///
+/// Recording also feeds the process-wide [`bpart_obs`] metrics registry
+/// (`cluster.supersteps`, `cluster.messages`, `cluster.faults`,
+/// `cluster.replays`), so metric snapshots cover the BSP layer without a
+/// handle on the run's `Telemetry`.
 #[derive(Debug, Default)]
 pub struct Telemetry {
     records: Mutex<Vec<IterationRecord>>,
@@ -67,6 +115,24 @@ impl Telemetry {
 
     /// Appends one superstep record.
     pub fn record(&self, record: IterationRecord) {
+        static SUPERSTEPS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+        static MESSAGES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+        static FAULTS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+        static REPLAYS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+        SUPERSTEPS
+            .get_or_init(|| bpart_obs::metrics::counter("cluster.supersteps"))
+            .inc();
+        MESSAGES
+            .get_or_init(|| bpart_obs::metrics::counter("cluster.messages"))
+            .add(record.sent.iter().sum());
+        FAULTS
+            .get_or_init(|| bpart_obs::metrics::counter("cluster.faults"))
+            .add(record.faults);
+        if record.replay {
+            REPLAYS
+                .get_or_init(|| bpart_obs::metrics::counter("cluster.replays"))
+                .inc();
+        }
         self.records.lock().push(record);
     }
 
@@ -116,6 +182,37 @@ impl Telemetry {
             }
         }
         waiting
+    }
+
+    /// Fig. 13 in one call: total time, the global waiting ratio, and each
+    /// machine's waiting time and per-machine ratio.
+    pub fn summary(&self) -> TelemetrySummary {
+        let total_time = self.total_time();
+        let waiting = self.waiting_per_machine();
+        let mut compute = vec![0.0; waiting.len()];
+        for r in self.records.lock().iter() {
+            for (acc, &c) in compute.iter_mut().zip(&r.compute) {
+                *acc += c;
+            }
+        }
+        let machines: Vec<MachineWaiting> = waiting
+            .iter()
+            .zip(&compute)
+            .map(|(&w, &c)| MachineWaiting {
+                compute: c,
+                waiting: w,
+                ratio: if total_time > 0.0 {
+                    w / total_time
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        TelemetrySummary {
+            total_time,
+            waiting_ratio: self.waiting_ratio(),
+            machines,
+        }
     }
 
     /// The paper's Fig. 13 metric: total waiting of all machines divided by
@@ -238,6 +335,47 @@ mod tests {
         assert_eq!(s.threads, 2);
         assert!((t.partition_throughput() - 2_000.0).abs() < 1e-9);
         assert!((s.sync_stall_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_timings_propagate_instead_of_vanishing() {
+        // f64::max drops NaN (NaN.max(x) == x), so the old fold reported a
+        // poisoned machine as instantaneous; the aggregate must go NaN.
+        let r = rec(vec![3.0, f64::NAN], vec![1.0, 0.5], vec![0, 0]);
+        assert!(r.wall_time().is_nan(), "NaN compute must poison wall_time");
+        assert!(r.waiting().iter().all(|w| w.is_nan()));
+        // NaN first in the list (the accumulator side) must also survive.
+        let r = rec(vec![f64::NAN, 3.0], vec![1.0, 0.5], vec![0, 0]);
+        assert!(r.wall_time().is_nan());
+        // A NaN comm time poisons wall_time but not compute waiting.
+        let r = rec(vec![2.0, 1.0], vec![f64::NAN, 0.5], vec![0, 0]);
+        assert!(r.wall_time().is_nan());
+        assert_eq!(r.waiting(), vec![0.0, 1.0]);
+        // NaN-free records are untouched by the new fold.
+        let r = rec(vec![3.0, 5.0], vec![1.0, 0.5], vec![0, 0]);
+        assert_eq!(r.wall_time(), 6.0);
+    }
+
+    #[test]
+    fn summary_breaks_waiting_down_per_machine() {
+        let t = Telemetry::new();
+        t.record(rec(vec![4.0, 2.0], vec![0.0, 0.0], vec![1, 2]));
+        t.record(rec(vec![1.0, 3.0], vec![1.0, 1.0], vec![3, 4]));
+        let s = t.summary();
+        assert_eq!(s.total_time, 8.0);
+        assert!((s.waiting_ratio - 0.25).abs() < 1e-12);
+        assert_eq!(s.machines.len(), 2);
+        assert_eq!(s.machines[0].compute, 5.0);
+        assert_eq!(s.machines[0].waiting, 2.0);
+        assert!((s.machines[0].ratio - 0.25).abs() < 1e-12);
+        assert_eq!(s.machines[1].waiting, 2.0);
+        // Per-machine ratios average to the global ratio by construction.
+        let mean: f64 = s.machines.iter().map(|m| m.ratio).sum::<f64>() / s.machines.len() as f64;
+        assert!((mean - s.waiting_ratio).abs() < 1e-12);
+        // Empty telemetry yields an empty, all-zero summary.
+        let empty = Telemetry::new().summary();
+        assert_eq!(empty.total_time, 0.0);
+        assert!(empty.machines.is_empty());
     }
 
     #[test]

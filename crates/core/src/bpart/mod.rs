@@ -134,6 +134,14 @@ impl BPart {
         let mut remaining: Vec<VertexId> = graph.vertices().collect();
         let mut trace = Vec::new();
 
+        use std::sync::OnceLock;
+        static ROUNDS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+        static MISSES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+        let rounds_counter =
+            ROUNDS.get_or_init(|| bpart_obs::metrics::counter("combine.repartition_rounds"));
+        let misses_counter =
+            MISSES.get_or_init(|| bpart_obs::metrics::counter("combine.threshold_misses"));
+
         for layer in 1..=cfg.max_layers {
             if parts_left == 0 {
                 break;
@@ -153,6 +161,7 @@ impl BPart {
                 break;
             }
 
+            let mut layer_span = bpart_obs::span("combine.layer");
             let rounds = layer as usize;
             let pieces = parts_left << rounds;
             let (mut groups, stream_stats) =
@@ -160,6 +169,7 @@ impl BPart {
             for _ in 0..rounds {
                 groups = combine_round(groups);
             }
+            rounds_counter.add(rounds as u64);
             debug_assert_eq!(groups.len(), parts_left);
 
             // Freeze the best-balanced groups first, and only while the
@@ -204,10 +214,15 @@ impl BPart {
                     parts_left -= 1;
                     frozen_here += 1;
                 } else {
+                    misses_counter.inc();
                     new_remaining.extend_from_slice(&group.vertices);
                 }
             }
             remaining = new_remaining;
+            layer_span.attr("layer", layer);
+            layer_span.attr("pieces", pieces);
+            layer_span.attr("frozen", frozen_here);
+            layer_span.attr("remaining", remaining.len());
             trace.push(LayerTrace {
                 layer,
                 pieces,

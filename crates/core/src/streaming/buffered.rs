@@ -140,7 +140,14 @@ pub(super) fn stream_assign_buffered(
     };
     let mut records = Vec::with_capacity(config.order.len() / buffer_size + 1);
 
+    use std::sync::OnceLock;
+    static SCORE_NS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+    static COMMIT_NS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+    let score_ns = SCORE_NS.get_or_init(|| bpart_obs::metrics::counter("stream.score_ns"));
+    let commit_ns = COMMIT_NS.get_or_init(|| bpart_obs::metrics::counter("stream.commit_ns"));
+
     for (buffer_idx, buffer) in config.order.chunks(buffer_size).enumerate() {
+        let mut buffer_span = bpart_obs::span("stream.buffer");
         let buffer_start = Instant::now();
         let mut sync_secs = 0.0;
 
@@ -192,10 +199,16 @@ pub(super) fn stream_assign_buffered(
             sync_secs += sync_start.elapsed().as_secs_f64();
         }
 
+        let secs = buffer_start.elapsed().as_secs_f64();
+        buffer_span.attr("buffer", buffer_idx);
+        buffer_span.attr("vertices", buffer.len());
+        // score = everything outside the commit barrier (snapshot + workers).
+        score_ns.add(((secs - sync_secs).max(0.0) * 1e9) as u64);
+        commit_ns.add((sync_secs * 1e9) as u64);
         records.push(BufferRecord {
             buffer: buffer_idx,
             vertices: buffer.len(),
-            secs: buffer_start.elapsed().as_secs_f64(),
+            secs,
             sync_secs,
         });
     }

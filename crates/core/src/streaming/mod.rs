@@ -359,6 +359,12 @@ pub(crate) fn stream_assign(
     config: &StreamConfig<'_>,
     weight_delta: impl Fn(VertexId) -> f64 + Sync,
 ) -> StreamOutcome {
+    use std::sync::OnceLock;
+    static VERTICES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+    static PASS_NS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+    static SYNC_NS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+
+    let mut span = bpart_obs::span("stream.pass");
     let start = Instant::now();
     let mut outcome = if config.parallel.threads <= 1 {
         stream_assign_sequential(graph, config, &weight_delta)
@@ -370,6 +376,18 @@ pub(crate) fn stream_assign(
     outcome.stats.buffers = outcome.buffers.len();
     outcome.stats.secs = start.elapsed().as_secs_f64();
     outcome.stats.sync_secs = outcome.buffers.iter().map(|b| b.sync_secs).sum();
+    span.attr("vertices", outcome.stats.vertices);
+    span.attr("threads", outcome.stats.threads);
+    span.attr("buffers", outcome.stats.buffers);
+    VERTICES
+        .get_or_init(|| bpart_obs::metrics::counter("stream.vertices"))
+        .add(outcome.stats.vertices as u64);
+    PASS_NS
+        .get_or_init(|| bpart_obs::metrics::counter("stream.pass_ns"))
+        .add((outcome.stats.secs * 1e9) as u64);
+    SYNC_NS
+        .get_or_init(|| bpart_obs::metrics::counter("stream.sync_ns"))
+        .add((outcome.stats.sync_secs * 1e9) as u64);
     outcome
 }
 

@@ -237,6 +237,7 @@ impl IterationEngine {
                     replay: $replaying,
                     recovery,
                 });
+                bpart_obs::metrics::counter("cluster.recoveries").inc();
                 rollback(&mut states, &checkpoint);
                 superstep = checkpoint.superstep;
                 continue;
@@ -250,6 +251,9 @@ impl IterationEngine {
                 }
             }
             let replaying = superstep < high_water;
+            let mut step_span = bpart_obs::span("cluster.superstep");
+            step_span.attr("superstep", superstep);
+            step_span.attr("replay", replaying);
 
             // Global aggregate over current values (e.g. PR dangling mass).
             let agg_results = for_each_machine(self.mode, &mut states, |m, s| {
@@ -361,6 +365,7 @@ impl IterationEngine {
                     replay: replaying,
                     recovery,
                 });
+                bpart_obs::metrics::counter("cluster.recoveries").inc();
                 rollback(&mut states, &checkpoint);
                 superstep = checkpoint.superstep;
                 continue;
@@ -481,6 +486,7 @@ impl IterationEngine {
             // ---- checkpoint -----------------------------------------------
             if let Some(every) = self.checkpoint_every {
                 if (superstep + 1) % every == 0 {
+                    let _ckpt_span = bpart_obs::span("cluster.checkpoint");
                     checkpoint = Checkpoint {
                         superstep: superstep + 1,
                         machines: snapshot(&states),
@@ -488,6 +494,7 @@ impl IterationEngine {
                     for (m, s) in states.iter().enumerate() {
                         compute[m] += self.cost.checkpoint_time(s.values.len() as u64);
                     }
+                    bpart_obs::metrics::counter("cluster.checkpoints").inc();
                 }
             }
 

@@ -87,7 +87,11 @@ impl Partitioner for Multilevel {
         let coarse_limit = (cfg.coarse_factor * num_parts).max(64);
         let mut levels: Vec<(WeightedGraph, Vec<u32>)> = Vec::new();
         let mut current = base;
+        let coarsen_rounds = bpart_obs::metrics::counter("multilevel.coarsen_rounds");
         while current.num_vertices() > coarse_limit {
+            let mut level_span = bpart_obs::span("multilevel.coarsen");
+            level_span.attr("level", levels.len());
+            level_span.attr("vertices", current.num_vertices());
             let clusters = coarsen::label_propagation(
                 &current,
                 cfg.lp_rounds,
@@ -97,6 +101,7 @@ impl Partitioner for Multilevel {
                 cfg.seed ^ levels.len() as u64,
             );
             let (coarser, map) = current.contract(&clusters);
+            coarsen_rounds.inc();
             // A stalled shrink means no more structure to exploit.
             if coarser.num_vertices() as f64 > current.num_vertices() as f64 * 0.95 {
                 break;
@@ -115,7 +120,11 @@ impl Partitioner for Multilevel {
         );
 
         // Uncoarsen with per-level refinement.
+        let refine_rounds = bpart_obs::metrics::counter("multilevel.refine_rounds");
         while let Some((finer, map)) = levels.pop() {
+            let mut level_span = bpart_obs::span("multilevel.refine");
+            level_span.attr("level", levels.len());
+            level_span.attr("vertices", finer.num_vertices());
             let mut projected = vec![0 as PartId; finer.num_vertices()];
             for v in 0..finer.num_vertices() {
                 projected[v] = labels[map[v] as usize];
@@ -128,6 +137,7 @@ impl Partitioner for Multilevel {
                 max_part_weight,
                 cfg.refine_passes,
             );
+            refine_rounds.add(cfg.refine_passes as u64);
             current = finer;
         }
         let _ = current;

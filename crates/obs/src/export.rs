@@ -1,0 +1,130 @@
+//! Exporters: JSONL span traces and Prometheus-style metric snapshots.
+//!
+//! The workspace is zero-dependency, so JSON is emitted by hand. One span
+//! per line:
+//!
+//! ```text
+//! {"id":3,"parent":1,"name":"stream.buffer","thread":0,"start_ns":120,"dur_ns":4500,"attrs":{"vertices":"4096"}}
+//! ```
+//!
+//! `parent` is `null` for roots. Attribute values are always JSON strings
+//! (they come through `Display`), which keeps the reader trivial.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::metrics;
+use crate::tracer::{self, SpanRecord};
+
+/// Escapes a string for a JSON string literal (without the quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one span as a single JSON object line (no trailing newline).
+pub fn span_to_json(span: &SpanRecord) -> String {
+    let parent = span
+        .parent
+        .map_or_else(|| "null".to_string(), |p| p.to_string());
+    let attrs: Vec<String> = span
+        .attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!(
+        "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"thread\":{},\"start_ns\":{},\"dur_ns\":{},\"attrs\":{{{}}}}}",
+        span.id,
+        parent,
+        escape_json(span.name),
+        span.thread,
+        span.start_ns,
+        span.dur_ns,
+        attrs.join(",")
+    )
+}
+
+/// Renders the given spans as JSONL (one object per line, trailing
+/// newline when non-empty).
+pub fn trace_to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        out.push_str(&span_to_json(span));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the current tracer ring to `path` as JSONL. Returns the number
+/// of spans written. If spans were evicted from the ring a warning is
+/// printed to stderr (the file is still written).
+pub fn write_trace_jsonl(path: &Path) -> io::Result<usize> {
+    let spans = tracer::snapshot();
+    let dropped = tracer::dropped_spans();
+    if dropped > 0 {
+        eprintln!("warning: trace ring overflowed; {dropped} oldest spans were dropped");
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(trace_to_jsonl(&spans).as_bytes())?;
+    Ok(spans.len())
+}
+
+/// Writes the current metrics registry to `path` in the Prometheus text
+/// exposition format.
+pub fn write_metrics_text(path: &Path) -> io::Result<()> {
+    std::fs::write(path, metrics::prometheus_snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_json_shape_roots_and_children() {
+        let root = SpanRecord {
+            id: 1,
+            parent: None,
+            name: "t.export.root",
+            thread: 0,
+            start_ns: 10,
+            dur_ns: 100,
+            attrs: vec![("layer", "2".to_string())],
+        };
+        let child = SpanRecord {
+            id: 2,
+            parent: Some(1),
+            name: "t.export.child",
+            thread: 0,
+            start_ns: 20,
+            dur_ns: 50,
+            attrs: vec![],
+        };
+        assert_eq!(
+            span_to_json(&root),
+            "{\"id\":1,\"parent\":null,\"name\":\"t.export.root\",\"thread\":0,\"start_ns\":10,\"dur_ns\":100,\"attrs\":{\"layer\":\"2\"}}"
+        );
+        assert_eq!(
+            span_to_json(&child),
+            "{\"id\":2,\"parent\":1,\"name\":\"t.export.child\",\"thread\":0,\"start_ns\":20,\"dur_ns\":50,\"attrs\":{}}"
+        );
+        let jsonl = trace_to_jsonl(&[root, child]);
+        assert_eq!(jsonl.lines().count(), 2);
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

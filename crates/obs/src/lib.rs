@@ -1,0 +1,80 @@
+//! # bpart-obs — the workspace observability layer
+//!
+//! The paper's headline claims (Figs. 11–14) are observability claims:
+//! per-machine compute/communication skew, waiting ratios, and per-phase
+//! partitioning cost. This crate is the measurement substrate behind them —
+//! a zero-dependency (std-only), thread-safe layer shared by every crate:
+//!
+//! * **Span tracer** ([`tracer`]) — hierarchical wall-time spans with
+//!   per-span `key=value` attributes and a bounded ring buffer of closed
+//!   spans. Parent/child nesting is tracked per thread, so spans opened on
+//!   the orchestrating thread nest naturally while worker threads get their
+//!   own roots. Recording is gated by a runtime flag (one relaxed atomic
+//!   load when off), so the tracer can ship enabled in release builds.
+//! * **Metrics registry** ([`metrics`]) — named counters, gauges, and
+//!   fixed-bucket histograms backed by relaxed atomics; cheap enough to
+//!   stay on unconditionally. Handles are `&'static` and lock-free on the
+//!   hot path (the registry lock is only taken at lookup time, which call
+//!   sites cache in a `OnceLock`).
+//! * **Exporters** ([`export`]) — a JSONL trace dump, a Prometheus-style
+//!   text exposition of the registry, and a flame-style span-tree report
+//!   ([`report`]) rendered by the `bpart report` CLI subcommand.
+//!
+//! ## Naming scheme
+//!
+//! Span and metric names are dotted, `layer.phase[_unit]`:
+//! `stream.pass`, `stream.buffer`, `combine.layer`, `cluster.superstep`,
+//! `walker.superstep`, `multilevel.coarsen`; counters carry their unit as a
+//! suffix (`stream.score_ns`, `exchange.bytes`). Dots are sanitised to
+//! underscores in the Prometheus exposition (dots are not legal there).
+//!
+//! ## Example
+//!
+//! ```
+//! use bpart_obs as obs;
+//!
+//! obs::set_trace_enabled(true);
+//! {
+//!     let mut span = obs::span("doc.outer");
+//!     span.attr("answer", 42);
+//!     let _inner = obs::span("doc.inner");
+//! } // spans record on drop
+//! obs::metrics::counter("doc.events").add(3);
+//!
+//! let spans = obs::tracer::snapshot();
+//! assert!(spans.iter().any(|s| s.name == "doc.inner"));
+//! let text = obs::metrics::prometheus_snapshot();
+//! assert!(text.contains("doc_events"));
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod report;
+pub mod tracer;
+
+pub use tracer::{clear_trace, set_trace_enabled, span, trace_enabled, SpanGuard, SpanRecord};
+
+/// Times `body` under a named span: `time_span!("stream.pass", { ... })`.
+/// The span closes (and records) when the block finishes, panics included.
+#[macro_export]
+macro_rules! time_span {
+    ($name:expr, $body:block) => {{
+        let _obs_span = $crate::span($name);
+        $body
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_span_macro_records_and_returns() {
+        set_trace_enabled(true);
+        let v = time_span!("lib.macro_test", { 21 * 2 });
+        assert_eq!(v, 42);
+        assert!(tracer::snapshot()
+            .iter()
+            .any(|s| s.name == "lib.macro_test"));
+    }
+}

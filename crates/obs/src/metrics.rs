@@ -1,0 +1,370 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms, always on.
+//!
+//! All updates are relaxed atomics — a counter bump is one
+//! `fetch_add(Relaxed)` — so instrumentation stays enabled in release
+//! builds. Registration (`counter("x")`) takes the registry lock once per
+//! *name* lookup; hot call sites cache the returned `&'static` handle in a
+//! `OnceLock` so steady-state recording never touches the lock:
+//!
+//! ```
+//! use std::sync::OnceLock;
+//! use bpart_obs::metrics::{counter, Counter};
+//!
+//! static BYTES: OnceLock<&'static Counter> = OnceLock::new();
+//! BYTES.get_or_init(|| counter("doc.cached_bytes")).add(128);
+//! ```
+//!
+//! Handles are leaked (`Box::leak`) into the process-lifetime registry;
+//! the set of metric names is small and static, so this is a deliberate
+//! one-time cost, not a leak in the growing sense.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` (relaxed).
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one (relaxed).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram: `bounds` are ascending upper bounds, and an
+/// implicit `+Inf` bucket catches overflow. A value equal to a bound lands
+/// in that bound's bucket (`v <= bound`), matching Prometheus `le`
+/// semantics.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; the last is `+Inf`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values as `f64` bits, updated via CAS loop.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending: {bounds:?}"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf bucket is implicit): {bounds:?}"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        // First bound >= v. NaN would defeat partition_point (all
+        // comparisons false ⇒ index 0), so route it to +Inf explicitly.
+        let idx = if v.is_nan() {
+            self.bounds.len()
+        } else {
+            self.bounds.partition_point(|b| *b < v)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, non-cumulative, including the final `+Inf`
+    /// bucket (`bounds().len() + 1` entries).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+fn registry() -> MutexGuard<'static, BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    // Poison-tolerant: the map only ever holds leaked `&'static` handles,
+    // so a panicking registrant (e.g. a kind mismatch) leaves it valid.
+    REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Returns (registering on first use) the counter named `name`.
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::default()))))
+    {
+        Metric::Counter(c) => c,
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Returns (registering on first use) the gauge named `name`.
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::default()))))
+    {
+        Metric::Gauge(g) => g,
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Returns (registering on first use) the histogram named `name` with the
+/// given ascending finite upper `bounds` (an `+Inf` bucket is implicit).
+///
+/// Panics if `name` is already registered as a different kind, or with
+/// different bounds.
+pub fn histogram(name: &str, bounds: &[f64]) -> &'static Histogram {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new(bounds)))))
+    {
+        Metric::Histogram(h) => {
+            assert_eq!(
+                h.bounds(),
+                bounds,
+                "metric {name:?} already registered with different bounds"
+            );
+            h
+        }
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Sanitises a dotted metric name for the Prometheus exposition format
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other illegal bytes become `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format (sorted by name; histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum`/`_count`).
+pub fn prometheus_snapshot() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    for (name, metric) in reg.iter() {
+        let pname = sanitize_name(name);
+        match metric {
+            Metric::Counter(c) => {
+                out.push_str(&format!("# TYPE {pname} counter\n"));
+                out.push_str(&format!("{pname} {}\n", c.get()));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!("# TYPE {pname} gauge\n"));
+                out.push_str(&format!("{pname} {}\n", fmt_f64(g.get())));
+            }
+            Metric::Histogram(h) => {
+                out.push_str(&format!("# TYPE {pname} histogram\n"));
+                let counts = h.bucket_counts();
+                let mut cumulative = 0u64;
+                for (i, c) in counts.iter().enumerate() {
+                    cumulative += c;
+                    let le = h
+                        .bounds()
+                        .get(i)
+                        .copied()
+                        .map_or_else(|| "+Inf".to_string(), fmt_f64);
+                    out.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                }
+                out.push_str(&format!("{pname}_sum {}\n", fmt_f64(h.sum())));
+                out.push_str(&format!("{pname}_count {}\n", h.count()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = counter("t.metrics.counter");
+        c.add(5);
+        c.inc();
+        assert_eq!(c.get(), 6);
+        // Same name returns the same handle.
+        assert_eq!(counter("t.metrics.counter").get(), 6);
+
+        let g = gauge("t.metrics.gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_le_inclusive() {
+        // Satellite test: a value equal to a bound lands in that bound's
+        // bucket; above the last bound goes to +Inf; NaN goes to +Inf.
+        let h = histogram("t.metrics.hist_bounds", &[1.0, 10.0, 100.0]);
+        h.observe(0.5); // <= 1.0
+        h.observe(1.0); // == 1.0 → le="1" bucket
+        h.observe(1.0000001); // → le="10"
+        h.observe(10.0); // == 10.0 → le="10"
+        h.observe(100.0); // == 100.0 → le="100"
+        h.observe(1e9); // → +Inf
+        h.observe(f64::NAN); // → +Inf, sum poisoned (deliberate)
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 2]);
+        assert_eq!(h.count(), 7);
+        assert!(h.sum().is_nan());
+    }
+
+    #[test]
+    fn histogram_sum_is_exact_without_nan() {
+        let h = histogram("t.metrics.hist_sum", &[4.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(8.0);
+        assert_eq!(h.sum(), 11.0);
+        assert_eq!(h.bucket_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn prometheus_snapshot_sanitizes_and_cumulates() {
+        counter("t.promsnap.events").add(7);
+        let h = histogram("t.promsnap.lat", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(9.0);
+        let text = prometheus_snapshot();
+        assert!(text.contains("# TYPE t_promsnap_events counter"));
+        assert!(text.contains("t_promsnap_events 7"));
+        // Cumulative buckets: 1, 2, 3.
+        assert!(text.contains("t_promsnap_lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("t_promsnap_lat_bucket{le=\"2\"} 2"));
+        assert!(text.contains("t_promsnap_lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("t_promsnap_lat_count 3"));
+        assert!(!text.contains("t.promsnap"), "dots must be sanitised");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        counter("t.metrics.kind_clash");
+        gauge("t.metrics.kind_clash");
+    }
+
+    #[test]
+    fn concurrent_counter_updates_are_lossless() {
+        let c = counter("t.metrics.concurrent");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

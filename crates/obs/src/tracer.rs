@@ -1,0 +1,316 @@
+//! The hierarchical span tracer.
+//!
+//! A span is opened with [`span`](crate::span) and records itself into a
+//! global, bounded ring buffer when its guard drops: name, wall time,
+//! parent span (the innermost span still open *on the same thread*), a
+//! small thread ordinal, and any `key=value` attributes attached while it
+//! was open. The ring holds the most recent [`ring_capacity`] spans; older
+//! spans are evicted and counted in [`dropped_spans`] so exports can report
+//! truncation instead of silently looking complete.
+//!
+//! Recording is gated by a process-wide flag ([`set_trace_enabled`]):
+//! when off, opening a span is one relaxed atomic load and no allocation,
+//! which is what lets instrumentation ship enabled in release builds.
+//!
+//! Parenting is per-thread by design: the engines open phase spans on the
+//! orchestrating thread (supersteps, buffers, layers nest there), while
+//! scoped worker threads — which the buffered streaming engine spawns per
+//! chunk — would otherwise race for one global stack. A span opened on a
+//! worker thread becomes a root for that thread.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default ring-buffer capacity (closed spans retained).
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// One closed span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id (monotonic across the process).
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Static span name (`layer.phase`).
+    pub name: &'static str,
+    /// Small per-thread ordinal (not the OS thread id).
+    pub thread: u64,
+    /// Nanoseconds since the tracer epoch at open.
+    pub start_ns: u64,
+    /// Wall-time duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Attributes attached while the span was open.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+struct TracerState {
+    enabled: AtomicBool,
+    next_span_id: AtomicU64,
+    next_thread_ord: AtomicU64,
+    dropped: AtomicU64,
+    capacity: AtomicUsize,
+    epoch: OnceLock<Instant>,
+    ring: Mutex<Vec<SpanRecord>>,
+}
+
+fn state() -> &'static TracerState {
+    static STATE: OnceLock<TracerState> = OnceLock::new();
+    STATE.get_or_init(|| TracerState {
+        enabled: AtomicBool::new(false),
+        next_span_id: AtomicU64::new(1),
+        next_thread_ord: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+        capacity: AtomicUsize::new(DEFAULT_RING_CAPACITY),
+        epoch: OnceLock::new(),
+        ring: Mutex::new(Vec::new()),
+    })
+}
+
+thread_local! {
+    /// Innermost-last stack of open span ids on this thread.
+    static OPEN: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORD: u64 = state().next_thread_ord.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Turns span recording on or off process-wide. Off is the default; the
+/// CLI enables it when `--trace-out` is passed, benches for the overhead
+/// measurement. Metrics counters are unaffected (always on).
+pub fn set_trace_enabled(enabled: bool) {
+    state().enabled.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently on.
+pub fn trace_enabled() -> bool {
+    state().enabled.load(Ordering::Relaxed)
+}
+
+/// Caps the number of retained closed spans (evicting oldest first).
+pub fn set_ring_capacity(capacity: usize) {
+    state().capacity.store(capacity.max(1), Ordering::Relaxed);
+}
+
+/// Spans evicted from the ring since the last [`clear_trace`].
+pub fn dropped_spans() -> u64 {
+    state().dropped.load(Ordering::Relaxed)
+}
+
+/// Discards all recorded spans and resets the eviction counter. Call
+/// before a run whose trace will be exported, so the file covers exactly
+/// that run.
+pub fn clear_trace() {
+    let s = state();
+    s.ring.lock().expect("tracer ring poisoned").clear();
+    s.dropped.store(0, Ordering::Relaxed);
+}
+
+/// Snapshot (clone) of the retained spans, oldest first.
+pub fn snapshot() -> Vec<SpanRecord> {
+    state().ring.lock().expect("tracer ring poisoned").clone()
+}
+
+/// Opens a span; it records itself when the guard drops. When tracing is
+/// disabled this is one atomic load and the guard is inert.
+pub fn span(name: &'static str) -> SpanGuard {
+    let s = state();
+    if !s.enabled.load(Ordering::Relaxed) {
+        return SpanGuard { open: None };
+    }
+    let epoch = *s.epoch.get_or_init(Instant::now);
+    let id = s.next_span_id.fetch_add(1, Ordering::Relaxed);
+    let (parent, thread) = OPEN.with(|open| {
+        let mut open = open.borrow_mut();
+        let parent = open.last().copied();
+        open.push(id);
+        (parent, THREAD_ORD.with(|&t| t))
+    });
+    SpanGuard {
+        open: Some(OpenSpan {
+            id,
+            parent,
+            name,
+            thread,
+            start_ns: epoch.elapsed().as_nanos() as u64,
+            started: Instant::now(),
+            attrs: Vec::new(),
+        }),
+    }
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    thread: u64,
+    start_ns: u64,
+    started: Instant,
+    attrs: Vec<(&'static str, String)>,
+}
+
+/// An open span; closes (and records) on drop.
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    /// Attaches a `key=value` attribute (value via `Display`). A no-op on
+    /// an inert guard, so call sites need no enabled-check of their own.
+    pub fn attr(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(open) = &mut self.open {
+            open.attrs.push((key, value.to_string()));
+        }
+    }
+
+    /// The span id, when recording (useful in tests).
+    pub fn id(&self) -> Option<u64> {
+        self.open.as_ref().map(|o| o.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        OPEN.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop in LIFO order within a thread, so the top of the
+            // stack is this span; be defensive about leaked guards anyway.
+            if stack.last() == Some(&open.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&id| id != open.id);
+            }
+        });
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            thread: open.thread,
+            start_ns: open.start_ns,
+            dur_ns: open.started.elapsed().as_nanos() as u64,
+            attrs: open.attrs,
+        };
+        let s = state();
+        let cap = s.capacity.load(Ordering::Relaxed);
+        let mut ring = s.ring.lock().expect("tracer ring poisoned");
+        if ring.len() >= cap {
+            // Evict the oldest overflow in one drain (amortised O(1) per
+            // span for the common cap-by-one case).
+            let excess = ring.len() + 1 - cap;
+            ring.drain(..excess);
+            s.dropped.fetch_add(excess as u64, Ordering::Relaxed);
+        }
+        ring.push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spans from other tests (the tracer is global and tests run in
+    /// parallel) are filtered out by name prefix.
+    fn named(prefix: &str) -> Vec<SpanRecord> {
+        snapshot()
+            .into_iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .collect()
+    }
+
+    #[test]
+    fn nesting_records_parent_child_on_one_thread() {
+        set_trace_enabled(true);
+        let outer_id;
+        {
+            let mut outer = span("t.nest.outer");
+            outer.attr("k", 8);
+            outer_id = outer.id().unwrap();
+            {
+                let _inner = span("t.nest.inner");
+            }
+        }
+        let spans = named("t.nest.");
+        let inner = spans.iter().find(|s| s.name == "t.nest.inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "t.nest.outer").unwrap();
+        assert_eq!(inner.parent, Some(outer_id));
+        assert_eq!(outer.id, outer_id);
+        assert_eq!(outer.attrs, vec![("k", "8".to_string())]);
+        // The inner span closed first, so it appears first in the ring.
+        assert!(inner.dur_ns <= outer.dur_ns);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        set_trace_enabled(false);
+        {
+            let mut g = span("t.disabled.span");
+            g.attr("ignored", 1);
+            assert!(g.id().is_none());
+        }
+        assert!(named("t.disabled.").is_empty());
+        set_trace_enabled(true);
+    }
+
+    #[test]
+    fn concurrent_threads_lose_no_spans_and_misparent_none() {
+        // The satellite-task test: scoped threads record concurrently; every
+        // span must land in the ring, children parented to *their own
+        // thread's* root, roots parentless or parented to pre-existing
+        // spans on the spawning stack (none here).
+        set_trace_enabled(true);
+        const THREADS: usize = 8;
+        const ROOTS_PER_THREAD: usize = 50;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                s.spawn(move || {
+                    let _ = t;
+                    for _ in 0..ROOTS_PER_THREAD {
+                        let root = span("t.conc.root");
+                        let root_id = root.id().unwrap();
+                        {
+                            let child = span("t.conc.child");
+                            // Parent must be this thread's root, checked at
+                            // open time via the guard linkage below.
+                            assert!(child.id().unwrap() > root_id);
+                        }
+                    }
+                });
+            }
+        });
+        let spans = named("t.conc.");
+        let roots: Vec<_> = spans.iter().filter(|s| s.name == "t.conc.root").collect();
+        let children: Vec<_> = spans.iter().filter(|s| s.name == "t.conc.child").collect();
+        assert_eq!(roots.len(), THREADS * ROOTS_PER_THREAD, "lost root spans");
+        assert_eq!(children.len(), THREADS * ROOTS_PER_THREAD, "lost children");
+        let root_by_id: std::collections::HashMap<u64, &SpanRecord> =
+            roots.iter().map(|s| (s.id, *s)).collect();
+        for child in children {
+            let parent_id = child.parent.expect("child span must have a parent");
+            let parent = root_by_id
+                .get(&parent_id)
+                .expect("child must parent to a t.conc.root span");
+            assert_eq!(
+                parent.thread, child.thread,
+                "span parented across threads: {child:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_eviction_counts_dropped_spans() {
+        // Use a dedicated prefix then restore capacity: this test races
+        // with others for the shared ring, so only relative claims hold.
+        set_trace_enabled(true);
+        let before = dropped_spans();
+        let old_cap = state().capacity.load(Ordering::Relaxed);
+        set_ring_capacity(16);
+        for _ in 0..64 {
+            let _s = span("t.evict.span");
+        }
+        assert!(dropped_spans() > before, "eviction must be counted");
+        assert!(snapshot().len() <= 16);
+        set_ring_capacity(old_cap);
+    }
+}

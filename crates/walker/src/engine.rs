@@ -200,12 +200,28 @@ impl WalkEngine {
         let mut high_water = 0usize;
         let mut failures_at: HashMap<usize, u32> = HashMap::new();
 
+        use std::sync::OnceLock;
+        static STEPS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+        static STEPS_PER_BLOCK: OnceLock<&'static bpart_obs::metrics::Histogram> = OnceLock::new();
+        let steps_counter = STEPS.get_or_init(|| bpart_obs::metrics::counter("walk.steps"));
+        // Per-machine steps in one superstep block: the load-skew signal of
+        // the paper's Fig. 4, bucketed in powers of ~4.
+        let steps_hist = STEPS_PER_BLOCK.get_or_init(|| {
+            bpart_obs::metrics::histogram(
+                "walk.steps_per_block",
+                &[16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0],
+            )
+        });
+
         loop {
             let active: usize = states.iter().map(|s| s.queue.len()).sum();
             if active == 0 {
                 break;
             }
             let replaying = superstep < high_water;
+            let mut step_span = bpart_obs::span("walker.superstep");
+            step_span.attr("superstep", superstep);
+            step_span.attr("active", active);
             let cluster = &self.cluster;
             let record = self.record_paths;
             let max_steps = app.walk_length();
@@ -264,6 +280,7 @@ impl WalkEngine {
                         replay: replaying,
                         recovery,
                     });
+                    bpart_obs::metrics::counter("cluster.recoveries").inc();
                     restore(
                         &mut states,
                         &checkpoint,
@@ -280,6 +297,11 @@ impl WalkEngine {
                 .map(|(_, w)| self.cost.compute_time(w))
                 .collect();
             let steps_this_round: u64 = step_out.iter().map(|(_, w)| w.steps).sum();
+            step_span.attr("steps", steps_this_round);
+            steps_counter.add(steps_this_round);
+            for (_, w) in &step_out {
+                steps_hist.observe(w.steps as f64);
+            }
 
             // ---- the exchange barrier: injected crashes fire here --------------
             let crashed = faults.take_crashes(superstep);
@@ -298,6 +320,7 @@ impl WalkEngine {
                     replay: replaying,
                     recovery,
                 });
+                bpart_obs::metrics::counter("cluster.recoveries").inc();
                 restore(
                     &mut states,
                     &checkpoint,
@@ -348,6 +371,7 @@ impl WalkEngine {
             // ---- checkpoint -----------------------------------------------
             if let Some(every) = self.checkpoint_every {
                 if (superstep + 1) % every == 0 {
+                    let _ckpt_span = bpart_obs::span("cluster.checkpoint");
                     checkpoint = Checkpoint {
                         superstep: superstep + 1,
                         machines: snapshot(&states),
@@ -357,6 +381,7 @@ impl WalkEngine {
                     for (m, s) in states.iter().enumerate() {
                         compute[m] += self.cost.checkpoint_time(s.queue.len() as u64);
                     }
+                    bpart_obs::metrics::counter("cluster.checkpoints").inc();
                 }
             }
 
