@@ -1,9 +1,10 @@
 //! Validates the observability artifacts produced by `--trace-out` and
-//! `--metrics-out`: the trace must be parseable JSONL (using the same
-//! parser `bpart report` uses) and the metrics file must be a well-formed
-//! Prometheus-style text exposition. CI runs this after the CLI smoke so
-//! a malformed exporter fails the build rather than silently producing
-//! unreadable artifacts.
+//! `--metrics-out` using the shared [`bpart_obs::validate`] checks: the
+//! trace must be parseable, non-empty JSONL (the same parser `bpart
+//! report` uses) and the metrics file must be a well-formed Prometheus
+//! text exposition with cumulative, `le`-ordered, `+Inf`-terminated
+//! histograms. CI runs this after the CLI smoke so a malformed exporter
+//! fails the build rather than silently producing unreadable artifacts.
 //!
 //! ```text
 //! obs_check TRACE.jsonl METRICS.prom [REQUIRED_SPAN_NAME ...]
@@ -20,63 +21,6 @@ fn die(msg: String) -> ! {
     exit(1)
 }
 
-fn valid_metric_name(name: &str) -> bool {
-    let mut chars = name.chars();
-    let Some(first) = chars.next() else {
-        return false;
-    };
-    (first.is_ascii_alphabetic() || first == '_' || first == ':')
-        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
-}
-
-/// Checks one Prometheus text exposition, returning the sample count.
-fn check_exposition(text: &str) -> Result<usize, String> {
-    let mut samples = 0usize;
-    for (i, line) in text.lines().enumerate() {
-        let lineno = i + 1;
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("# TYPE ") {
-            let mut it = rest.split_whitespace();
-            let name = it
-                .next()
-                .ok_or_else(|| format!("line {lineno}: TYPE without a metric name"))?;
-            let kind = it
-                .next()
-                .ok_or_else(|| format!("line {lineno}: TYPE without a kind"))?;
-            if !valid_metric_name(name) {
-                return Err(format!("line {lineno}: bad metric name {name:?}"));
-            }
-            if !matches!(kind, "counter" | "gauge" | "histogram") {
-                return Err(format!("line {lineno}: unknown metric kind {kind:?}"));
-            }
-            continue;
-        }
-        if line.starts_with('#') {
-            continue; // other comments (HELP etc.) are fine
-        }
-        let (series, value) = line
-            .rsplit_once(' ')
-            .ok_or_else(|| format!("line {lineno}: sample without a value: {line:?}"))?;
-        let name = series.split('{').next().unwrap_or(series);
-        if !valid_metric_name(name) {
-            return Err(format!("line {lineno}: bad sample name {name:?}"));
-        }
-        if series.contains('{') && !series.ends_with('}') {
-            return Err(format!("line {lineno}: unterminated label set: {series:?}"));
-        }
-        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
-            return Err(format!("line {lineno}: bad sample value {value:?}"));
-        }
-        samples += 1;
-    }
-    if samples == 0 {
-        return Err("exposition holds no metric samples".into());
-    }
-    Ok(samples)
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [trace_path, metrics_path, required @ ..] = args.as_slice() else {
@@ -85,11 +29,8 @@ fn main() {
 
     let trace_text = std::fs::read_to_string(trace_path)
         .unwrap_or_else(|e| die(format!("cannot read {trace_path}: {e}")));
-    let spans = bpart_obs::report::parse_trace_jsonl(&trace_text)
+    let spans = bpart_obs::validate::check_trace(&trace_text)
         .unwrap_or_else(|e| die(format!("{trace_path}: {e}")));
-    if spans.is_empty() {
-        die(format!("{trace_path}: trace holds no spans"));
-    }
     for name in required {
         if !spans.iter().any(|s| s.name == *name) {
             let mut seen: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
@@ -104,8 +45,8 @@ fn main() {
 
     let metrics_text = std::fs::read_to_string(metrics_path)
         .unwrap_or_else(|e| die(format!("cannot read {metrics_path}: {e}")));
-    let samples =
-        check_exposition(&metrics_text).unwrap_or_else(|e| die(format!("{metrics_path}: {e}")));
+    let samples = bpart_obs::validate::check_exposition(&metrics_text)
+        .unwrap_or_else(|e| die(format!("{metrics_path}: {e}")));
 
     println!(
         "obs_check: OK — {} spans in {trace_path}, {samples} samples in {metrics_path}",

@@ -22,7 +22,9 @@
 //! over the sequential run, or if span tracing costs more than 3% (plus
 //! a 10ms floor against timer noise on tiny scales) — the CI perf gate.
 
-use bpart_bench::{banner, dataset, json, render_table, timed, write_bench_json};
+use bpart_bench::{
+    banner, dataset, json, metric_slug, render_table, timed, write_bench_json, write_history_record,
+};
 use bpart_core::bpart::WeightedStream;
 use bpart_core::metrics;
 use bpart_core::prelude::*;
@@ -228,6 +230,27 @@ fn main() {
         ("tracing", obs_overhead),
     ]);
     write_bench_json("BENCH_stream.json", &doc);
+
+    // History record for run-to-run regression diffing: the deterministic
+    // cut ratios are the watched metrics (timings vary across hosts and
+    // ride along unwatched).
+    let mut hist: Vec<(String, f64)> = Vec::new();
+    for r in &runs {
+        let slug = format!("{}_t{}", metric_slug(r.scheme), r.threads);
+        hist.push((format!("{slug}_cut"), r.cut));
+        hist.push((format!("{slug}_secs"), r.secs));
+        hist.push((format!("{slug}_stall"), r.stall));
+    }
+    hist.push(("tracing_overhead".to_string(), overhead));
+    write_history_record(
+        "stream_scale",
+        "lj_like",
+        &[
+            ("k", K.to_string()),
+            ("buffer_size", buffer_size.to_string()),
+        ],
+        &hist,
+    );
 
     if std::env::var("BPART_GATE").is_ok_and(|v| v == "1") {
         let mut failed = false;

@@ -1,7 +1,10 @@
 //! Table 3 — edge-cut ratio (cut edges / total edges) of the five schemes
 //! on the three datasets, k = 8.
 
-use bpart_bench::{banner, datasets, f3, json, render_table, schemes, write_bench_json};
+use bpart_bench::{
+    banner, datasets, f3, json, metric_slug, render_table, schemes, write_bench_json,
+    write_history_record,
+};
 use bpart_core::metrics;
 
 fn main() {
@@ -11,6 +14,7 @@ fn main() {
     header.extend(data.iter().map(|(n, _)| n.clone()));
     let mut rows = Vec::new();
     let mut records = Vec::new();
+    let mut hist: Vec<(String, f64)> = Vec::new();
     for scheme in schemes() {
         let mut row = vec![scheme.name().to_string()];
         for (name, g) in &data {
@@ -22,6 +26,10 @@ fn main() {
                 ("dataset", json::string(name)),
                 ("cut_ratio", json::number(cut)),
             ]));
+            hist.push((
+                format!("{}_{}_cut", metric_slug(scheme.name()), metric_slug(name)),
+                cut,
+            ));
         }
         rows.push(row);
     }
@@ -34,6 +42,7 @@ fn main() {
             ("cuts", json::array(&records)),
         ]),
     );
+    write_history_record("table3", "all", &[("k", "8".to_string())], &hist);
     println!(
         "paper (full-scale) for comparison:\n\
          Chunk-V  0.576  0.748  0.659\n\

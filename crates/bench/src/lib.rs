@@ -171,6 +171,42 @@ pub fn write_bench_json(name: &str, payload: &str) {
     println!("wrote {name}");
 }
 
+/// Lowercases a scheme/app label into a history-metric slug
+/// (`BPart-P1` → `bpart_p1`).
+pub fn metric_slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| match c {
+            '-' | ' ' | '.' => '_',
+            c => c.to_ascii_lowercase(),
+        })
+        .collect()
+}
+
+/// Writes a run-history record to `results/history/<bench>.json` so CI
+/// can regression-diff headline bench metrics across commits with
+/// `bpart obs diff` (see DESIGN.md §11). The record carries the harness
+/// scale so mismatched baselines are visible in the diff header.
+pub fn write_history_record(
+    bench: &str,
+    graph: &str,
+    config: &[(&str, String)],
+    metrics: &[(String, f64)],
+) {
+    let mut rec = bpart_obs::history::RunRecord::new(bench, graph);
+    rec.set_config("scale", scale());
+    for (k, v) in config {
+        rec.set_config(k, v);
+    }
+    for (k, v) in metrics {
+        rec.set_metric(k, *v);
+    }
+    let path = format!("results/history/{bench}.json");
+    rec.write(std::path::Path::new(&path))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}
+
 /// The paper's seven-application names in Fig. 14's order: five
 /// KnightKing walk apps then the two Gemini iteration apps.
 pub fn app_names() -> Vec<&'static str> {

@@ -3,6 +3,26 @@
 
 use std::fmt;
 
+/// The shared observability flags on `partition` and `run`: post-mortem
+/// exports (`--trace-out`, `--metrics-out`), the live monitoring server
+/// (`--serve-addr`), and run-history emission (`--history-out`,
+/// `--git-rev`). All optional; see DESIGN.md §10–11.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsFlags {
+    /// Write the span trace as JSONL here after the run.
+    pub trace_out: Option<String>,
+    /// Write the Prometheus metrics snapshot here after the run.
+    pub metrics_out: Option<String>,
+    /// Serve `/metrics`, `/spans`, `/healthz`, `/progress` on this
+    /// address (e.g. `127.0.0.1:0`) while the job runs.
+    pub serve_addr: Option<String>,
+    /// Append a run-history record (JSON) at this path after the run.
+    pub history_out: Option<String>,
+    /// Git revision to stamp into the history record (defaults to
+    /// `$BPART_GIT_REV` / `$GITHUB_SHA` / `"unknown"`).
+    pub git_rev: Option<String>,
+}
+
 /// A parsed `bpart` invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -16,7 +36,7 @@ pub enum Command {
     /// `bpart stats GRAPH`
     Stats { graph: String },
     /// `bpart partition GRAPH --parts K [--scheme S] [--out FILE]
-    /// [--threads T] [--buffer-size B] [--trace-out FILE] [--metrics-out FILE]`
+    /// [--threads T] [--buffer-size B] [+ observability flags]`
     Partition {
         graph: String,
         parts: usize,
@@ -24,15 +44,14 @@ pub enum Command {
         out: Option<String>,
         threads: usize,
         buffer_size: usize,
-        trace_out: Option<String>,
-        metrics_out: Option<String>,
+        obs: ObsFlags,
     },
     /// `bpart quality GRAPH PARTITION`
     Quality { graph: String, partition: String },
     /// `bpart run GRAPH --parts K [--scheme S] [--app A] [--iters N]
     /// [--walk-len L] [--seed N] [--mode M] [--fault-plan SPEC]
     /// [--checkpoint-every N] [--threads T] [--buffer-size B]
-    /// [--trace-out FILE] [--metrics-out FILE]`
+    /// [+ observability flags]`
     Run {
         graph: String,
         parts: usize,
@@ -46,11 +65,21 @@ pub enum Command {
         checkpoint_every: Option<usize>,
         threads: usize,
         buffer_size: usize,
-        trace_out: Option<String>,
-        metrics_out: Option<String>,
+        obs: ObsFlags,
     },
-    /// `bpart report TRACE`
-    Report { trace: String },
+    /// `bpart report TRACE [--critical-path] [--straggler-factor F]`
+    Report {
+        trace: String,
+        critical_path: bool,
+        straggler_factor: f64,
+    },
+    /// `bpart obs diff BASELINE CANDIDATE [--watch M1,M2] [--threshold F]`
+    ObsDiff {
+        a: String,
+        b: String,
+        watch: Vec<String>,
+        threshold: f64,
+    },
     /// `bpart convert SRC DST`
     Convert { src: String, dst: String },
     /// `bpart schemes`
@@ -146,7 +175,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 .to_string();
             let out = get_optional(&flags, "out").map(str::to_string);
             let (threads, buffer_size) = parse_parallel(&flags)?;
-            let (trace_out, metrics_out) = parse_obs(&flags);
+            let obs = parse_obs(&flags);
             check_unknown(
                 &flags,
                 &[
@@ -157,6 +186,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "buffer-size",
                     "trace-out",
                     "metrics-out",
+                    "serve-addr",
+                    "history-out",
+                    "git-rev",
                 ],
             )?;
             Ok(Command::Partition {
@@ -166,8 +198,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 out,
                 threads,
                 buffer_size,
-                trace_out,
-                metrics_out,
+                obs,
             })
         }
         "run" => {
@@ -224,7 +255,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 None => None,
             };
             let (threads, buffer_size) = parse_parallel(&flags)?;
-            let (trace_out, metrics_out) = parse_obs(&flags);
+            let obs = parse_obs(&flags);
             check_unknown(
                 &flags,
                 &[
@@ -241,6 +272,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "buffer-size",
                     "trace-out",
                     "metrics-out",
+                    "serve-addr",
+                    "history-out",
+                    "git-rev",
                 ],
             )?;
             Ok(Command::Run {
@@ -256,19 +290,94 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 checkpoint_every,
                 threads,
                 buffer_size,
-                trace_out,
-                metrics_out,
+                obs,
             })
         }
         "report" => {
+            // `--critical-path` is the one boolean flag in the CLI;
+            // `split_flags` treats every `--x` as value-taking, so pull
+            // the token out before splitting.
+            let mut critical_path = false;
+            let rest: Vec<&str> = rest
+                .into_iter()
+                .filter(|&tok| {
+                    if tok == "--critical-path" {
+                        critical_path = true;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .collect();
             let (flags, positional) = split_flags(&rest)?;
-            check_unknown(&flags, &[])?;
+            let straggler_factor = match get_optional(&flags, "straggler-factor") {
+                Some(s) => {
+                    let f: f64 = s
+                        .parse()
+                        .map_err(|_| err(format!("bad --straggler-factor {s:?}")))?;
+                    if f.is_nan() || f < 1.0 {
+                        return Err(err("--straggler-factor must be at least 1"));
+                    }
+                    f
+                }
+                None => 2.0,
+            };
+            check_unknown(&flags, &["straggler-factor"])?;
             match positional.as_slice() {
                 [trace] => Ok(Command::Report {
                     trace: trace.to_string(),
+                    critical_path,
+                    straggler_factor,
                 }),
                 other => Err(err(format!(
                     "report takes one TRACE argument (a JSONL file from --trace-out), got {other:?}"
+                ))),
+            }
+        }
+        "obs" => {
+            let Some((&"diff", tail)) = rest.split_first() else {
+                return Err(err(format!(
+                    "obs takes a `diff` subcommand (obs diff BASELINE CANDIDATE), got {rest:?}"
+                )));
+            };
+            let (flags, positional) = split_flags(tail)?;
+            let watch: Vec<String> = match get_optional(&flags, "watch") {
+                Some(list) => {
+                    let names: Vec<String> = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if names.is_empty() {
+                        return Err(err("--watch needs at least one metric name"));
+                    }
+                    names
+                }
+                None => vec!["wall_time_secs".to_string(), "cut_ratio".to_string()],
+            };
+            let threshold = match get_optional(&flags, "threshold") {
+                Some(s) => {
+                    let t: f64 = s
+                        .parse()
+                        .map_err(|_| err(format!("bad --threshold {s:?}")))?;
+                    if t.is_nan() || t < 0.0 {
+                        return Err(err("--threshold must be non-negative"));
+                    }
+                    t
+                }
+                None => 0.05,
+            };
+            check_unknown(&flags, &["watch", "threshold"])?;
+            match positional.as_slice() {
+                [a, b] => Ok(Command::ObsDiff {
+                    a: a.to_string(),
+                    b: b.to_string(),
+                    watch,
+                    threshold,
+                }),
+                other => Err(err(format!(
+                    "obs diff takes BASELINE and CANDIDATE history files, got {other:?}"
                 ))),
             }
         }
@@ -325,13 +434,16 @@ fn parse_parallel(flags: &[(&str, &str)]) -> Result<(usize, usize), ParseError> 
     Ok((threads, buffer_size))
 }
 
-/// Parses the shared `--trace-out` / `--metrics-out` observability flags
-/// (both optional; see DESIGN.md §10).
-fn parse_obs(flags: &[(&str, &str)]) -> (Option<String>, Option<String>) {
-    (
-        get_optional(flags, "trace-out").map(str::to_string),
-        get_optional(flags, "metrics-out").map(str::to_string),
-    )
+/// Parses the shared observability flags (all optional; see DESIGN.md
+/// §10–11).
+fn parse_obs(flags: &[(&str, &str)]) -> ObsFlags {
+    ObsFlags {
+        trace_out: get_optional(flags, "trace-out").map(str::to_string),
+        metrics_out: get_optional(flags, "metrics-out").map(str::to_string),
+        serve_addr: get_optional(flags, "serve-addr").map(str::to_string),
+        history_out: get_optional(flags, "history-out").map(str::to_string),
+        git_rev: get_optional(flags, "git-rev").map(str::to_string),
+    }
 }
 
 /// `--flag value` pairs collected by [`split_flags`].
@@ -420,8 +532,7 @@ mod tests {
                 out: None,
                 threads: 1,
                 buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
-                trace_out: None,
-                metrics_out: None,
+                obs: ObsFlags::default(),
             }
         );
     }
@@ -437,28 +548,30 @@ mod tests {
             "t.jsonl",
             "--metrics-out",
             "m.prom",
+            "--serve-addr",
+            "127.0.0.1:0",
+            "--history-out",
+            "results/history/run.json",
+            "--git-rev",
+            "abc123",
         ])
         .unwrap();
         match cmd {
-            Command::Partition {
-                trace_out,
-                metrics_out,
-                ..
-            } => {
-                assert_eq!(trace_out.as_deref(), Some("t.jsonl"));
-                assert_eq!(metrics_out.as_deref(), Some("m.prom"));
+            Command::Partition { obs, .. } => {
+                assert_eq!(obs.trace_out.as_deref(), Some("t.jsonl"));
+                assert_eq!(obs.metrics_out.as_deref(), Some("m.prom"));
+                assert_eq!(obs.serve_addr.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(obs.history_out.as_deref(), Some("results/history/run.json"));
+                assert_eq!(obs.git_rev.as_deref(), Some("abc123"));
             }
             other => panic!("expected Partition, got {other:?}"),
         }
         let cmd = p(&["run", "g.txt", "--parts", "4", "--trace-out", "t.jsonl"]).unwrap();
         match cmd {
-            Command::Run {
-                trace_out,
-                metrics_out,
-                ..
-            } => {
-                assert_eq!(trace_out.as_deref(), Some("t.jsonl"));
-                assert_eq!(metrics_out, None);
+            Command::Run { obs, .. } => {
+                assert_eq!(obs.trace_out.as_deref(), Some("t.jsonl"));
+                assert_eq!(obs.metrics_out, None);
+                assert_eq!(obs.serve_addr, None);
             }
             other => panic!("expected Run, got {other:?}"),
         }
@@ -469,11 +582,66 @@ mod tests {
         assert_eq!(
             p(&["report", "trace.jsonl"]).unwrap(),
             Command::Report {
-                trace: "trace.jsonl".into()
+                trace: "trace.jsonl".into(),
+                critical_path: false,
+                straggler_factor: 2.0,
+            }
+        );
+        assert_eq!(
+            p(&[
+                "report",
+                "--critical-path",
+                "trace.jsonl",
+                "--straggler-factor",
+                "1.5"
+            ])
+            .unwrap(),
+            Command::Report {
+                trace: "trace.jsonl".into(),
+                critical_path: true,
+                straggler_factor: 1.5,
             }
         );
         assert!(p(&["report"]).is_err());
         assert!(p(&["report", "a", "b"]).is_err());
+        assert!(p(&["report", "a", "--straggler-factor", "0.5"]).is_err());
+        assert!(p(&["report", "a", "--straggler-factor", "nan"]).is_err());
+    }
+
+    #[test]
+    fn parses_obs_diff() {
+        assert_eq!(
+            p(&["obs", "diff", "a.json", "b.json"]).unwrap(),
+            Command::ObsDiff {
+                a: "a.json".into(),
+                b: "b.json".into(),
+                watch: vec!["wall_time_secs".into(), "cut_ratio".into()],
+                threshold: 0.05,
+            }
+        );
+        assert_eq!(
+            p(&[
+                "obs",
+                "diff",
+                "a.json",
+                "b.json",
+                "--watch",
+                "cut_ratio, waiting_ratio",
+                "--threshold",
+                "0.1",
+            ])
+            .unwrap(),
+            Command::ObsDiff {
+                a: "a.json".into(),
+                b: "b.json".into(),
+                watch: vec!["cut_ratio".into(), "waiting_ratio".into()],
+                threshold: 0.1,
+            }
+        );
+        assert!(p(&["obs"]).is_err());
+        assert!(p(&["obs", "diff", "a.json"]).is_err());
+        assert!(p(&["obs", "diff", "a", "b", "--watch", ","]).is_err());
+        assert!(p(&["obs", "diff", "a", "b", "--threshold", "-1"]).is_err());
     }
 
     #[test]
@@ -541,8 +709,7 @@ mod tests {
                 checkpoint_every: None,
                 threads: 1,
                 buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
-                trace_out: None,
-                metrics_out: None,
+                obs: ObsFlags::default(),
             }
         );
     }

@@ -1,7 +1,7 @@
 //! Command implementations. Each returns its output as a `String` so the
 //! behaviour is unit-testable without capturing stdout.
 
-use crate::args::Command;
+use crate::args::{Command, ObsFlags};
 use crate::USAGE;
 use bpart_cluster::exec::ExecMode;
 use bpart_cluster::{Cluster, CostModel, FaultPlan, Telemetry};
@@ -54,10 +54,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             out,
             threads,
             buffer_size,
-            trace_out,
-            metrics_out,
+            obs,
         } => {
-            let obs = ObsExports::begin(trace_out.as_deref(), metrics_out.as_deref());
+            let exports = ObsExports::begin(obs)?;
             let mut text = partition_cmd(
                 graph,
                 *parts,
@@ -67,8 +66,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     threads: *threads,
                     buffer_size: *buffer_size,
                 },
+                obs,
             )?;
-            obs.finish(&mut text)?;
+            exports.finish(&mut text)?;
             Ok(text)
         }
         Command::Quality { graph, partition } => quality_cmd(graph, partition),
@@ -86,10 +86,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             checkpoint_every,
             threads,
             buffer_size,
-            trace_out,
-            metrics_out,
+            obs,
         } => {
-            let obs = ObsExports::begin(trace_out.as_deref(), metrics_out.as_deref());
+            let exports = ObsExports::begin(obs)?;
             let mut text = run_cmd(
                 graph,
                 *parts,
@@ -105,61 +104,163 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     threads: *threads,
                     buffer_size: *buffer_size,
                 },
+                obs,
             )?;
-            obs.finish(&mut text)?;
+            exports.finish(&mut text)?;
             Ok(text)
         }
-        Command::Report { trace } => report_cmd(trace),
+        Command::Report {
+            trace,
+            critical_path,
+            straggler_factor,
+        } => report_cmd(trace, *critical_path, *straggler_factor),
+        Command::ObsDiff {
+            a,
+            b,
+            watch,
+            threshold,
+        } => obs_diff_cmd(a, b, watch, *threshold),
     }
 }
 
-/// Observability exports requested via `--trace-out` / `--metrics-out`.
+/// Observability plumbing requested via the shared [`ObsFlags`].
 ///
 /// `begin` arms the global tracer (and resets any spans left over from a
-/// previous command in the same process) before the workload runs; `finish`
-/// writes the requested files afterwards and appends a line per file to the
-/// report so the user knows where to look.
+/// previous command in the same process) before the workload runs and, if
+/// `--serve-addr` was given, starts the live HTTP endpoint; `finish` writes
+/// the requested files afterwards, stops the server, and appends a line per
+/// artifact to the report so the user knows where to look.
 struct ObsExports<'a> {
-    trace_out: Option<&'a str>,
-    metrics_out: Option<&'a str>,
+    obs: &'a ObsFlags,
+    server: Option<bpart_obs::serve::ServeHandle>,
 }
 
 impl<'a> ObsExports<'a> {
-    fn begin(trace_out: Option<&'a str>, metrics_out: Option<&'a str>) -> Self {
-        if trace_out.is_some() {
+    fn begin(obs: &'a ObsFlags) -> Result<Self, CliError> {
+        // The live /spans endpoint is only useful with tracing on, so
+        // --serve-addr arms the tracer just like --trace-out does.
+        if obs.trace_out.is_some() || obs.serve_addr.is_some() {
             bpart_obs::set_trace_enabled(true);
             bpart_obs::clear_trace();
         }
-        ObsExports {
-            trace_out,
-            metrics_out,
-        }
+        let server = match obs.serve_addr.as_deref() {
+            Some(addr) => {
+                let handle = bpart_obs::serve::start(addr)
+                    .map_err(|e| fail(format!("cannot serve observability on {addr}: {e}")))?;
+                // Announced on stderr so scripts scraping a `--serve-addr
+                // 127.0.0.1:0` run can discover the chosen port while the
+                // report itself stays on stdout.
+                eprintln!("bpart: serving observability on http://{}", handle.addr());
+                Some(handle)
+            }
+            None => None,
+        };
+        Ok(ObsExports { obs, server })
     }
 
-    fn finish(&self, text: &mut String) -> Result<(), CliError> {
-        if let Some(path) = self.trace_out {
+    fn finish(mut self, text: &mut String) -> Result<(), CliError> {
+        if let Some(path) = self.obs.trace_out.as_deref() {
             let written = bpart_obs::export::write_trace_jsonl(Path::new(path))
                 .map_err(|e| fail(format!("cannot write trace {path}: {e}")))?;
-            bpart_obs::set_trace_enabled(false);
             text.push_str(&format!(
                 "  wrote {written} spans to {path} (inspect with `bpart report {path}`)\n"
             ));
         }
-        if let Some(path) = self.metrics_out {
+        if self.obs.trace_out.is_some() || self.obs.serve_addr.is_some() {
+            bpart_obs::set_trace_enabled(false);
+        }
+        if let Some(path) = self.obs.metrics_out.as_deref() {
             bpart_obs::export::write_metrics_text(Path::new(path))
                 .map_err(|e| fail(format!("cannot write metrics {path}: {e}")))?;
             text.push_str(&format!("  wrote metrics snapshot to {path}\n"));
+        }
+        if let Some(server) = self.server.take() {
+            let addr = server.addr();
+            server.shutdown();
+            text.push_str(&format!("  served observability on http://{addr}\n"));
         }
         Ok(())
     }
 }
 
-fn report_cmd(trace_path: &str) -> Result<String, CliError> {
+/// Builds the run-history record shared by `partition` and `run`, stamping
+/// the configuration common to both.
+fn history_record(
+    obs: &ObsFlags,
+    label: &str,
+    graph_path: &str,
+    scheme: &str,
+    parts: usize,
+    parallel: &ParallelConfig,
+) -> bpart_obs::history::RunRecord {
+    let mut rec = bpart_obs::history::RunRecord::new(label, graph_path);
+    if let Some(rev) = obs.git_rev.as_deref() {
+        rec = rec.with_git_rev(rev);
+    }
+    rec.set_config("scheme", scheme);
+    rec.set_config("parts", parts);
+    rec.set_config("threads", parallel.threads);
+    rec.set_config("buffer_size", parallel.buffer_size);
+    rec
+}
+
+/// Writes a finished history record and appends the pointer line.
+fn write_history(
+    rec: &bpart_obs::history::RunRecord,
+    path: &str,
+    text: &mut String,
+) -> Result<(), CliError> {
+    rec.write(Path::new(path))
+        .map_err(|e| fail(format!("cannot write history {path}: {e}")))?;
+    text.push_str(&format!(
+        "  wrote history record to {path} (compare with `bpart obs diff`)\n"
+    ));
+    Ok(())
+}
+
+fn report_cmd(
+    trace_path: &str,
+    critical_path: bool,
+    straggler_factor: f64,
+) -> Result<String, CliError> {
     let text = std::fs::read_to_string(trace_path)
         .map_err(|e| fail(format!("cannot open {trace_path}: {e}")))?;
     let spans = bpart_obs::report::parse_trace_jsonl(&text)
         .map_err(|e| fail(format!("{trace_path}: {e}")))?;
-    Ok(bpart_obs::report::render_report(&spans))
+    if critical_path {
+        let cp =
+            bpart_obs::analysis::analyze(&spans).map_err(|e| fail(format!("{trace_path}: {e}")))?;
+        Ok(bpart_obs::analysis::render(&cp, straggler_factor))
+    } else {
+        Ok(bpart_obs::report::render_report(&spans))
+    }
+}
+
+fn obs_diff_cmd(
+    a_path: &str,
+    b_path: &str,
+    watch: &[String],
+    threshold: f64,
+) -> Result<String, CliError> {
+    let a = bpart_obs::history::RunRecord::read(Path::new(a_path))
+        .map_err(|e| fail(format!("{a_path}: {e}")))?;
+    let b = bpart_obs::history::RunRecord::read(Path::new(b_path))
+        .map_err(|e| fail(format!("{b_path}: {e}")))?;
+    let watches: Vec<bpart_obs::history::Watch> = watch
+        .iter()
+        .map(|m| bpart_obs::history::Watch::new(m, threshold))
+        .collect();
+    let report = bpart_obs::history::diff(&a, &b, &watches);
+    let rendered = report.render();
+    if report.has_regressions() {
+        // Returned as an error so the process exits non-zero; the rendered
+        // table rides along so CI logs still show the full comparison.
+        return Err(fail(format!(
+            "{rendered}watched metric regressed more than {:.1}% over {a_path}",
+            threshold * 100.0
+        )));
+    }
+    Ok(rendered)
 }
 
 /// All scheme names accepted by `--scheme`.
@@ -312,13 +413,15 @@ fn partition_cmd(
     scheme_name: &str,
     out: Option<&str>,
     parallel: ParallelConfig,
+    obs: &ObsFlags,
 ) -> Result<String, CliError> {
     let graph = load_graph(graph_path)?;
     let scheme = scheme_with_parallel(scheme_name, parallel)?;
     let start = Instant::now();
     let (partition, stats) = scheme.partition_with_stats(&graph, parts);
     let elapsed = start.elapsed().as_secs_f64();
-    let mut text = report(&graph, &partition, scheme.name());
+    let quality = metrics::quality(&graph, &partition);
+    let mut text = render_quality(&quality, &partition, scheme.name());
     text.push_str(&format!("  partition time:  {elapsed:.3}s\n"));
     text.push_str(&stream_stats_report(&stats));
     if let Some(path) = out {
@@ -329,6 +432,15 @@ fn partition_cmd(
             pio::write_text(&partition, file).map_err(|e| fail(format!("{path}: {e}")))?;
         }
         text.push_str(&format!("  wrote {path}\n"));
+    }
+    if let Some(hpath) = obs.history_out.as_deref() {
+        let mut rec = history_record(obs, "partition", graph_path, scheme_name, parts, &parallel);
+        rec.set_metric("wall_time_secs", elapsed);
+        rec.set_metric("cut_ratio", quality.cut_ratio);
+        rec.set_metric("vertex_bias", quality.vertex_bias);
+        rec.set_metric("edge_bias", quality.edge_bias);
+        rec.set_metric("throughput_vps", stats.vertices_per_sec());
+        write_history(&rec, hpath, &mut text)?;
     }
     Ok(text)
 }
@@ -363,10 +475,14 @@ fn run_cmd(
     fault_plan: Option<&str>,
     checkpoint_every: Option<usize>,
     parallel: ParallelConfig,
+    obs: &ObsFlags,
 ) -> Result<String, CliError> {
     let graph = Arc::new(load_graph(graph_path)?);
     let scheme = scheme_with_parallel(scheme_name, parallel)?;
     let (partition, partition_stats) = scheme.partition_with_stats(&graph, parts);
+    // The cut ratio is recomputed here (rather than threaded out of the
+    // partitioner) so history records carry it for every scheme.
+    let quality = metrics::quality(&graph, &partition);
     let partition = Arc::new(partition);
     let mode = match mode {
         "threaded" => ExecMode::Threaded,
@@ -385,7 +501,8 @@ fn run_cmd(
         graph.num_edges(),
         scheme.name(),
     );
-    match app {
+    let run_start = Instant::now();
+    let (telemetry, iterations) = match app {
         "pagerank" | "cc" => {
             let mut engine =
                 IterationEngine::new(Cluster::new(graph, partition), CostModel::default(), mode)
@@ -393,7 +510,7 @@ fn run_cmd(
             if let Some(every) = checkpoint_every {
                 engine = engine.with_checkpoint_every(every);
             }
-            let (telemetry, iterations) = if app == "pagerank" {
+            if app == "pagerank" {
                 let run = engine
                     .try_run(&PageRank::new(iters))
                     .map_err(|e| fail(format!("run failed: {e}")))?;
@@ -403,9 +520,7 @@ fn run_cmd(
                     .try_run(&ConnectedComponents)
                     .map_err(|e| fail(format!("run failed: {e}")))?;
                 (run.telemetry, run.iterations)
-            };
-            telemetry.record_partition(partition_stats);
-            out.push_str(&telemetry_report(&telemetry, iterations));
+            }
         }
         "deepwalk" | "walk" => {
             let mut engine =
@@ -425,8 +540,7 @@ fn run_cmd(
                 "  walker steps:    {}\n  message walks:   {}\n",
                 run.total_steps, run.message_walks
             ));
-            run.telemetry.record_partition(partition_stats);
-            out.push_str(&telemetry_report(&run.telemetry, run.iterations));
+            (run.telemetry, run.iterations)
         }
         other => {
             return Err(fail(format!(
@@ -434,8 +548,35 @@ fn run_cmd(
                 app_names().join(", ")
             )))
         }
+    };
+    let wall = run_start.elapsed().as_secs_f64();
+    telemetry.record_partition(partition_stats);
+    out.push_str(&telemetry_report(&telemetry, iterations));
+    if let Some(hpath) = obs.history_out.as_deref() {
+        let mut rec = history_record(obs, "run", graph_path, scheme_name, parts, &parallel);
+        rec.set_config("app", app);
+        rec.set_config("iters", iters);
+        rec.set_config("mode", mode_name(mode));
+        rec.set_config("seed", seed);
+        rec.set_metric("wall_time_secs", wall);
+        rec.set_metric("cut_ratio", quality.cut_ratio);
+        rec.set_metric("total_time_units", telemetry.total_time());
+        rec.set_metric("waiting_ratio", telemetry.waiting_ratio());
+        rec.set_metric("supersteps", iterations as f64);
+        rec.set_metric("messages", telemetry.total_messages() as f64);
+        rec.set_metric("faults", telemetry.total_faults() as f64);
+        rec.set_metric("replayed_steps", telemetry.replayed_supersteps() as f64);
+        rec.set_metric("recovery_time_units", telemetry.total_recovery_time());
+        write_history(&rec, hpath, &mut out)?;
     }
     Ok(out)
+}
+
+fn mode_name(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Threaded => "threaded",
+        ExecMode::Sequential => "sequential",
+    }
 }
 
 /// Streaming throughput lines shared by `partition` and `run` output.
@@ -503,7 +644,10 @@ fn convert_cmd(src: &str, dst: &str) -> Result<String, CliError> {
 }
 
 fn report(graph: &CsrGraph, partition: &Partition, label: &str) -> String {
-    let q = metrics::quality(graph, partition);
+    render_quality(&metrics::quality(graph, partition), partition, label)
+}
+
+fn render_quality(q: &metrics::QualityReport, partition: &Partition, label: &str) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "partition: {label} ({} parts)\n",
@@ -565,8 +709,7 @@ mod tests {
             out: Some(pp.clone()),
             threads: 1,
             buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
-            trace_out: None,
-            metrics_out: None,
+            obs: ObsFlags::default(),
         });
         assert!(out.contains("edge-cut ratio"), "{out}");
 
@@ -633,8 +776,7 @@ mod tests {
             out: Some(pp.clone()),
             threads: 1,
             buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
-            trace_out: None,
-            metrics_out: None,
+            obs: ObsFlags::default(),
         });
         let out = runs(Command::Quality {
             graph: gp.clone(),
@@ -662,8 +804,7 @@ mod tests {
             out: None,
             threads: 2,
             buffer_size: 128,
-            trace_out: None,
-            metrics_out: None,
+            obs: ObsFlags::default(),
         });
         assert!(out.contains("throughput:"), "{out}");
         assert!(out.contains("2 threads"), "{out}");
@@ -684,8 +825,7 @@ mod tests {
             checkpoint_every: None,
             threads: 2,
             buffer_size: 128,
-            trace_out: None,
-            metrics_out: None,
+            obs: ObsFlags::default(),
         })
         .unwrap();
         assert!(out.contains("partition stage:"), "{out}");
@@ -723,8 +863,7 @@ mod tests {
             checkpoint_every: Some(2),
             threads: 1,
             buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
-            trace_out: None,
-            metrics_out: None,
+            obs: ObsFlags::default(),
         })
     }
 
@@ -787,15 +926,22 @@ mod tests {
             checkpoint_every: None,
             threads: 1,
             buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
-            trace_out: Some(tp.clone()),
-            metrics_out: Some(mp.clone()),
+            obs: ObsFlags {
+                trace_out: Some(tp.clone()),
+                metrics_out: Some(mp.clone()),
+                ..ObsFlags::default()
+            },
         });
         // Per-machine waiting breakdown (Fig. 13) is in the run report.
         assert!(out.contains("m0: compute"), "{out}");
         assert!(out.contains("wrote metrics snapshot"), "{out}");
 
         // The trace parses and the report shows the instrumented phases.
-        let report = runs(Command::Report { trace: tp.clone() });
+        let report = runs(Command::Report {
+            trace: tp.clone(),
+            critical_path: false,
+            straggler_factor: 2.0,
+        });
         assert!(report.contains("cluster.superstep"), "{report}");
         assert!(report.contains("stream.pass"), "{report}");
         assert!(report.contains("per-phase totals"), "{report}");
@@ -807,11 +953,119 @@ mod tests {
         assert!(prom.contains("cluster_supersteps"), "{prom}");
 
         // Reporting on the metrics file (not JSONL) fails with a line number.
-        let e = run(&Command::Report { trace: mp.clone() }).unwrap_err();
+        let e = run(&Command::Report {
+            trace: mp.clone(),
+            critical_path: false,
+            straggler_factor: 2.0,
+        })
+        .unwrap_err();
         assert!(e.to_string().contains("line 1"), "{e}");
         for p in [graph_path, trace_path, metrics_path] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn history_records_and_obs_diff_gate_regressions() {
+        let graph_path = tmp("hist.txt");
+        let hist_a = tmp("hist_a.json");
+        let hist_b = tmp("hist_b.json");
+        let gp = graph_path.to_str().unwrap().to_string();
+        let ha = hist_a.to_str().unwrap().to_string();
+        let hb = hist_b.to_str().unwrap().to_string();
+        runs(Command::Generate {
+            preset: "lj_like".into(),
+            scale: 0.01,
+            seed: Some(5),
+            out: gp.clone(),
+        });
+
+        let out = runs(Command::Run {
+            graph: gp.clone(),
+            parts: 4,
+            scheme: "bpart".into(),
+            app: "pagerank".into(),
+            iters: 3,
+            walk_len: 5,
+            seed: 7,
+            mode: "sequential".into(),
+            fault_plan: None,
+            checkpoint_every: None,
+            threads: 1,
+            buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+            obs: ObsFlags {
+                history_out: Some(ha.clone()),
+                git_rev: Some("testrev".into()),
+                ..ObsFlags::default()
+            },
+        });
+        assert!(out.contains("wrote history record"), "{out}");
+        let rec = bpart_obs::history::RunRecord::read(Path::new(&ha)).unwrap();
+        assert_eq!(rec.git_rev, "testrev");
+        assert!(rec.metrics.contains_key("cut_ratio"), "{rec:?}");
+        assert!(rec.metrics.contains_key("waiting_ratio"), "{rec:?}");
+
+        // An identical candidate passes the diff gate...
+        std::fs::copy(&hist_a, &hist_b).unwrap();
+        let watch = vec!["cut_ratio".to_string()];
+        let out = runs(Command::ObsDiff {
+            a: ha.clone(),
+            b: hb.clone(),
+            watch: watch.clone(),
+            threshold: 0.05,
+        });
+        assert!(out.contains("cut_ratio"), "{out}");
+
+        // ...while a >5% cut regression trips it with a non-Ok result.
+        let mut worse = rec.clone();
+        worse.set_metric("cut_ratio", rec.metrics["cut_ratio"] * 1.2);
+        worse.write(Path::new(&hb)).unwrap();
+        let e = run(&Command::ObsDiff {
+            a: ha.clone(),
+            b: hb.clone(),
+            watch,
+            threshold: 0.05,
+        })
+        .unwrap_err();
+        assert!(e.to_string().contains("REGRESSED"), "{e}");
+        assert!(e.to_string().contains("regressed more than 5.0%"), "{e}");
+
+        for p in [graph_path, hist_a, hist_b] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn partition_emits_history_records() {
+        let graph_path = tmp("phist.txt");
+        let hist_path = tmp("phist.json");
+        let gp = graph_path.to_str().unwrap().to_string();
+        let hp = hist_path.to_str().unwrap().to_string();
+        runs(Command::Generate {
+            preset: "lj_like".into(),
+            scale: 0.01,
+            seed: Some(5),
+            out: gp.clone(),
+        });
+        runs(Command::Partition {
+            graph: gp.clone(),
+            parts: 4,
+            scheme: "bpart".into(),
+            out: None,
+            threads: 1,
+            buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+            obs: ObsFlags {
+                history_out: Some(hp.clone()),
+                ..ObsFlags::default()
+            },
+        });
+        let rec = bpart_obs::history::RunRecord::read(Path::new(&hp)).unwrap();
+        assert_eq!(rec.label, "partition");
+        assert_eq!(rec.config["scheme"], "bpart");
+        assert!(rec.metrics["cut_ratio"] > 0.0, "{rec:?}");
+        assert!(rec.metrics["wall_time_secs"] >= 0.0, "{rec:?}");
+        std::fs::remove_file(graph_path).ok();
+        std::fs::remove_file(hist_path).ok();
     }
 
     #[test]
@@ -820,6 +1074,8 @@ mod tests {
         std::fs::write(&bad_path, "not json\n").unwrap();
         let e = run(&Command::Report {
             trace: bad_path.to_str().unwrap().into(),
+            critical_path: false,
+            straggler_factor: 2.0,
         })
         .unwrap_err();
         assert!(e.to_string().contains("line 1"), "{e}");
@@ -827,6 +1083,8 @@ mod tests {
 
         let e = run(&Command::Report {
             trace: "/no/such/trace.jsonl".into(),
+            critical_path: false,
+            straggler_factor: 2.0,
         })
         .unwrap_err();
         assert!(e.to_string().contains("/no/such/trace.jsonl"), "{e}");

@@ -21,13 +21,34 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse, Command, ParseError};
+pub use args::{parse, Command, ObsFlags, ParseError};
 pub use commands::{run, CliError};
 
+/// How a [`dispatch`] call failed — `main.rs` prints the usage text after
+/// parse errors but not after runtime failures (a regression reported by
+/// `bpart obs diff` should not be buried under the flag listing).
+#[derive(Debug)]
+pub enum DispatchError {
+    /// The arguments did not parse; usage is worth showing.
+    Parse(String),
+    /// The command ran and failed; the message is the whole story.
+    Run(String),
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchError::Parse(m) | DispatchError::Run(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
 /// Entry point shared by `main.rs` and the tests: parse then run.
-pub fn dispatch(argv: &[String]) -> Result<String, String> {
-    let command = parse(argv).map_err(|e| e.to_string())?;
-    run(&command).map_err(|e| e.to_string())
+pub fn dispatch(argv: &[String]) -> Result<String, DispatchError> {
+    let command = parse(argv).map_err(|e| DispatchError::Parse(e.to_string()))?;
+    run(&command).map_err(|e| DispatchError::Run(e.to_string()))
 }
 
 /// The usage text printed on `--help` or argument errors.
@@ -39,13 +60,14 @@ USAGE:
 [--scale F] [--seed N] --out FILE
   bpart stats     GRAPH
   bpart partition GRAPH --parts K [--scheme NAME] [--out FILE] \
-[--threads T] [--buffer-size B] [--trace-out FILE] [--metrics-out FILE]
+[--threads T] [--buffer-size B] [+ OBSERVABILITY flags]
   bpart quality   GRAPH PARTITION
   bpart run       GRAPH --parts K [--scheme NAME] [--app APP] [--iters N] \
 [--walk-len L] [--seed N] [--mode sequential|threaded] [--fault-plan SPEC] \
 [--checkpoint-every N] [--threads T] [--buffer-size B] \
-[--trace-out FILE] [--metrics-out FILE]
-  bpart report    TRACE
+[+ OBSERVABILITY flags]
+  bpart report    TRACE [--critical-path] [--straggler-factor F]
+  bpart obs diff  BASELINE CANDIDATE [--watch M1,M2] [--threshold F]
   bpart convert   SRC DST
   bpart schemes
 
@@ -71,11 +93,30 @@ PARALLEL STREAMING (partition/run, streaming schemes only):
   --buffer-size B  vertices scored per weight-sync window (default 4096);
                    B=1 reproduces the sequential result for any T
 
-OBSERVABILITY (partition/run; see DESIGN.md §10):
+OBSERVABILITY (partition/run; see DESIGN.md §10–11):
   --trace-out FILE    dump hierarchical phase spans as JSON lines; render
                       the flame-style tree with `bpart report FILE`
   --metrics-out FILE  dump the counter/gauge/histogram registry as a
                       Prometheus-style text snapshot
+  --serve-addr ADDR   serve /metrics /spans /healthz /progress over HTTP
+                      while the job runs (e.g. 127.0.0.1:9090; port 0 picks
+                      a free port, announced on stderr)
+  --history-out FILE  append-style run-history record (JSON) with config,
+                      git rev, and headline metrics for `bpart obs diff`
+  --git-rev REV       revision stamped into the history record (defaults
+                      to $BPART_GIT_REV / $GITHUB_SHA)
+
+REPORT (post-mortem on a --trace-out file):
+  --critical-path       per-superstep gating machine + per-machine blame
+                        table (paper Fig. 13) instead of the span tree
+  --straggler-factor F  flag supersteps whose gating compute exceeds the
+                        superstep median by F (default 2)
+
+OBS DIFF (run-to-run regression check; exits non-zero on regression):
+  --watch M1,M2   watched metrics (default wall_time_secs,cut_ratio);
+                  a watched metric regresses when the candidate exceeds
+                  the baseline by more than the threshold
+  --threshold F   allowed relative increase (default 0.05 = 5%)
 
 FILES:
   *.bpgr  binary CSR graph        (anything else: text edge list)
@@ -89,7 +130,14 @@ mod tests {
     #[test]
     fn dispatch_reports_parse_errors() {
         let err = dispatch(&["frobnicate".into()]).unwrap_err();
-        assert!(err.contains("unknown command"), "{err}");
+        assert!(matches!(err, DispatchError::Parse(_)), "{err:?}");
+        assert!(err.to_string().contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn dispatch_marks_runtime_failures_as_run_errors() {
+        let err = dispatch(&["stats".into(), "/no/such/graph".into()]).unwrap_err();
+        assert!(matches!(err, DispatchError::Run(_)), "{err:?}");
     }
 
     #[test]

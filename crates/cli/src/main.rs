@@ -9,10 +9,12 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("bpart: {message}");
-            eprintln!();
-            eprintln!("{}", bpart_cli::USAGE);
+        Err(error) => {
+            eprintln!("bpart: {error}");
+            if matches!(error, bpart_cli::DispatchError::Parse(_)) {
+                eprintln!();
+                eprintln!("{}", bpart_cli::USAGE);
+            }
             ExitCode::FAILURE
         }
     }

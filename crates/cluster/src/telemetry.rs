@@ -119,6 +119,12 @@ impl Telemetry {
         static MESSAGES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
         static FAULTS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
         static REPLAYS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+        static LAST_STEP_TIME: OnceLock<&'static bpart_obs::metrics::Gauge> = OnceLock::new();
+        // Live view for `/progress`: the modelled wall time of the most
+        // recent superstep (a creeping value flags a straggler mid-run).
+        LAST_STEP_TIME
+            .get_or_init(|| bpart_obs::metrics::gauge("cluster.last_superstep_time"))
+            .set(record.wall_time());
         SUPERSTEPS
             .get_or_init(|| bpart_obs::metrics::counter("cluster.supersteps"))
             .inc();

@@ -143,10 +143,15 @@ pub(super) fn stream_assign_buffered(
     use std::sync::OnceLock;
     static SCORE_NS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
     static COMMIT_NS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+    static PROGRESS: OnceLock<&'static bpart_obs::metrics::Gauge> = OnceLock::new();
     let score_ns = SCORE_NS.get_or_init(|| bpart_obs::metrics::counter("stream.score_ns"));
     let commit_ns = COMMIT_NS.get_or_init(|| bpart_obs::metrics::counter("stream.commit_ns"));
+    // Live buffer progress for the `/progress` monitoring endpoint.
+    let progress_gauge =
+        PROGRESS.get_or_init(|| bpart_obs::metrics::gauge("stream.progress_buffers"));
 
     for (buffer_idx, buffer) in config.order.chunks(buffer_size).enumerate() {
+        progress_gauge.set((buffer_idx + 1) as f64);
         let mut buffer_span = bpart_obs::span("stream.buffer");
         let buffer_start = Instant::now();
         let mut sync_secs = 0.0;

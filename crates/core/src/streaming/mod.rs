@@ -363,6 +363,12 @@ pub(crate) fn stream_assign(
     static VERTICES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
     static PASS_NS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
     static SYNC_NS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+    static PASSES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+    // Pass count for the `/progress` view (restreaming schemes run
+    // several passes; this is the coarse partition-stage progress signal).
+    PASSES
+        .get_or_init(|| bpart_obs::metrics::counter("stream.passes"))
+        .inc();
 
     let mut span = bpart_obs::span("stream.pass");
     let start = Instant::now();

@@ -244,6 +244,13 @@ impl IterationEngine {
             }};
         }
 
+        use std::sync::OnceLock;
+        static PROGRESS: OnceLock<&'static bpart_obs::metrics::Gauge> = OnceLock::new();
+        // Live progress for the `/progress` monitoring endpoint: which
+        // superstep the engine is currently executing.
+        let progress_gauge =
+            PROGRESS.get_or_init(|| bpart_obs::metrics::gauge("cluster.progress_superstep"));
+
         loop {
             if let Some(max) = program.max_iterations() {
                 if superstep >= max {
@@ -251,6 +258,7 @@ impl IterationEngine {
                 }
             }
             let replaying = superstep < high_water;
+            progress_gauge.set(superstep as f64);
             let mut step_span = bpart_obs::span("cluster.superstep");
             step_span.attr("superstep", superstep);
             step_span.attr("replay", replaying);
@@ -356,6 +364,10 @@ impl IterationEngine {
                 for (m, c) in compute.iter_mut().enumerate() {
                     *c *= faults.compute_factor(superstep, m as MachineId);
                 }
+                // The wasted compute still counts toward waiting (the
+                // exchange never completes, so comm defaults to zeros in
+                // the analyzer — matching the record below).
+                step_span.attr("compute", bpart_obs::analysis::join_timings(&compute));
                 let recovery = restore_time(&self.cost, &checkpoint);
                 telemetry.record(IterationRecord {
                     compute,
@@ -513,6 +525,11 @@ impl IterationEngine {
             let comm: Vec<f64> = (0..k)
                 .map(|m| self.cost.comm_time(sent_counts[m], recv_counts[m]))
                 .collect();
+            // Per-machine timings on the span (shortest round-trip f64
+            // formatting), so the critical-path analyzer reconstructs the
+            // same numbers `Telemetry::summary()` reports, bit-exactly.
+            step_span.attr("compute", bpart_obs::analysis::join_timings(&compute));
+            step_span.attr("comm", bpart_obs::analysis::join_timings(&comm));
             telemetry.record(IterationRecord {
                 compute,
                 comm,

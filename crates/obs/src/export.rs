@@ -66,23 +66,38 @@ pub fn trace_to_jsonl(spans: &[SpanRecord]) -> String {
     out
 }
 
-/// Writes the current tracer ring to `path` as JSONL. Returns the number
-/// of spans written. If spans were evicted from the ring a warning is
-/// printed to stderr (the file is still written).
+/// Creates the parent directory of an export target if it is missing.
+/// Exports happen at the *end* of a run; failing a long job because
+/// `results/` did not exist yet would throw the work away.
+pub(crate) fn ensure_parent_dir(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the current tracer ring to `path` as JSONL, creating missing
+/// parent directories. Returns the number of spans written. If spans
+/// were evicted from the ring a warning is printed to stderr (the file
+/// is still written).
 pub fn write_trace_jsonl(path: &Path) -> io::Result<usize> {
     let spans = tracer::snapshot();
     let dropped = tracer::dropped_spans();
     if dropped > 0 {
         eprintln!("warning: trace ring overflowed; {dropped} oldest spans were dropped");
     }
+    ensure_parent_dir(path)?;
     let mut file = std::fs::File::create(path)?;
     file.write_all(trace_to_jsonl(&spans).as_bytes())?;
     Ok(spans.len())
 }
 
 /// Writes the current metrics registry to `path` in the Prometheus text
-/// exposition format.
+/// exposition format, creating missing parent directories.
 pub fn write_metrics_text(path: &Path) -> io::Result<()> {
+    ensure_parent_dir(path)?;
     std::fs::write(path, metrics::prometheus_snapshot())
 }
 
@@ -126,5 +141,37 @@ mod tests {
     fn escape_json_handles_specials() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn exports_create_missing_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("bpart_obs_export_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Two levels of nesting that do not exist yet.
+        let trace_path = dir.join("nested/deeper/trace.jsonl");
+        let metrics_path = dir.join("nested/metrics.prom");
+
+        crate::set_trace_enabled(true);
+        write_metrics_text(&metrics_path).expect("metrics export must create parents");
+
+        // The ring is shared with concurrently running tests (one of which
+        // shrinks its capacity), so retry if our span gets evicted between
+        // recording and writing.
+        let mut found = false;
+        for _ in 0..5 {
+            {
+                let _s = crate::span("t.export.nested");
+            }
+            write_trace_jsonl(&trace_path).expect("trace export must create parents");
+            // The nested trace round-trips through the report parser.
+            let text = std::fs::read_to_string(&trace_path).unwrap();
+            let parsed = crate::report::parse_trace_jsonl(&text).expect("parse");
+            if parsed.iter().any(|s| s.name == "t.export.nested") {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "exported trace never contained the recorded span");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -19,6 +19,19 @@
 //! * **Exporters** ([`export`]) — a JSONL trace dump, a Prometheus-style
 //!   text exposition of the registry, and a flame-style span-tree report
 //!   ([`report`]) rendered by the `bpart report` CLI subcommand.
+//! * **Live serving** ([`serve`]) — a std-only background HTTP server
+//!   (`--serve-addr`) exposing `/metrics`, `/spans`, `/healthz`, and
+//!   `/progress` while a job runs.
+//! * **Analysis** ([`analysis`]) — critical-path reconstruction over the
+//!   span tree: which machine gated each superstep, per-machine blame
+//!   (critical-path time vs barrier waiting, the automated Fig. 13
+//!   reading), and straggler detection (`bpart report --critical-path`).
+//! * **Run history** ([`history`]) — one JSON record per run under
+//!   `results/history/`, diffed by `bpart obs diff` with watched-metric
+//!   regression gating.
+//! * **Validation** ([`validate`]) — the structural checks behind the
+//!   `obs_check` CI gate (non-empty traces, well-formed expositions with
+//!   cumulative `le`-ordered histogram buckets).
 //!
 //! ## Naming scheme
 //!
@@ -47,10 +60,14 @@
 //! assert!(text.contains("doc_events"));
 //! ```
 
+pub mod analysis;
 pub mod export;
+pub mod history;
 pub mod metrics;
 pub mod report;
+pub mod serve;
 pub mod tracer;
+pub mod validate;
 
 pub use tracer::{clear_trace, set_trace_enabled, span, trace_enabled, SpanGuard, SpanRecord};
 

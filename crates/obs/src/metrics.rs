@@ -248,9 +248,33 @@ fn fmt_f64(v: f64) -> String {
 /// Renders every registered metric in the Prometheus text exposition
 /// format (sorted by name; histograms as cumulative `_bucket{le=...}`
 /// series plus `_sum`/`_count`).
+///
+/// Sanitisation can alias distinct registered names (`a.b` and `a_b`
+/// both become `a_b`); that is a caller bug the snapshot must not hide,
+/// so colliding names are flagged with a `# warning:` comment line (and
+/// once on stderr) instead of silently merging into one series name.
 pub fn prometheus_snapshot() -> String {
     let reg = registry();
+    let mut sanitized_to_names: BTreeMap<String, Vec<&str>> = BTreeMap::new();
+    for name in reg.keys() {
+        sanitized_to_names
+            .entry(sanitize_name(name))
+            .or_default()
+            .push(name);
+    }
     let mut out = String::new();
+    for (sanitized, names) in &sanitized_to_names {
+        if names.len() > 1 {
+            let list = names.join("\", \"");
+            out.push_str(&format!(
+                "# warning: sanitised name collision: \"{list}\" all map to {sanitized}\n"
+            ));
+            eprintln!(
+                "warning: metric names \"{list}\" all sanitise to {sanitized:?}; \
+                 their exposition series alias each other"
+            );
+        }
+    }
     for (name, metric) in reg.iter() {
         let pname = sanitize_name(name);
         match metric {
@@ -281,6 +305,49 @@ pub fn prometheus_snapshot() -> String {
         }
     }
     out
+}
+
+/// Renders the registry as one JSON object — the `/progress` endpoint's
+/// body. Names are the *original* dotted names (no Prometheus
+/// sanitisation), values grouped by kind; non-finite `f64`s become
+/// `null` (JSON has no NaN/Inf):
+///
+/// ```text
+/// {"counters":{"cluster.supersteps":41},
+///  "gauges":{"cluster.progress_superstep":40},
+///  "histograms":{"walk.steps_per_block":{"count":7,"sum":120}}}
+/// ```
+pub fn json_snapshot() -> String {
+    use crate::export::escape_json;
+    fn json_f64(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let reg = registry();
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (name, metric) in reg.iter() {
+        let key = escape_json(name);
+        match metric {
+            Metric::Counter(c) => counters.push(format!("\"{key}\":{}", c.get())),
+            Metric::Gauge(g) => gauges.push(format!("\"{key}\":{}", json_f64(g.get()))),
+            Metric::Histogram(h) => histograms.push(format!(
+                "\"{key}\":{{\"count\":{},\"sum\":{}}}",
+                h.count(),
+                json_f64(h.sum()),
+            )),
+        }
+    }
+    format!(
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(","),
+    )
 }
 
 #[cfg(test)]
@@ -344,6 +411,57 @@ mod tests {
         assert!(text.contains("t_promsnap_lat_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("t_promsnap_lat_count 3"));
         assert!(!text.contains("t.promsnap"), "dots must be sanitised");
+    }
+
+    #[test]
+    fn sanitisation_collisions_are_warned_not_silent() {
+        // `a.b` and `a_b` both sanitise to `a_b`: the snapshot must call
+        // that out rather than silently emitting two series with one name.
+        counter("t.collide.x").add(1);
+        counter("t_collide.x").add(2);
+        let text = prometheus_snapshot();
+        assert_eq!(sanitize_name("t.collide.x"), sanitize_name("t_collide.x"));
+        let warning = text
+            .lines()
+            .find(|l| l.starts_with("# warning: sanitised name collision"))
+            .expect("collision warning line");
+        assert!(warning.contains("t.collide.x"), "{warning}");
+        assert!(warning.contains("t_collide.x"), "{warning}");
+        assert!(warning.contains("t_collide_x"), "{warning}");
+        // Non-colliding names get no warning about them.
+        assert!(
+            !text.contains("# warning: sanitised name collision: \"t.promsnap"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn sanitize_name_rules() {
+        assert_eq!(sanitize_name("a.b-c/d"), "a_b_c_d");
+        assert_eq!(sanitize_name("ns:x_1"), "ns:x_1");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "");
+    }
+
+    #[test]
+    fn json_snapshot_groups_by_kind_and_nulls_non_finite() {
+        counter("t.jsonsnap.count").add(4);
+        gauge("t.jsonsnap.gauge").set(1.5);
+        gauge("t.jsonsnap.poisoned").set(f64::NAN);
+        let h = histogram("t.jsonsnap.hist", &[1.0]);
+        h.observe(0.5);
+        h.observe(3.0);
+        let text = json_snapshot();
+        assert!(text.contains("\"t.jsonsnap.count\":4"), "{text}");
+        assert!(text.contains("\"t.jsonsnap.gauge\":1.5"), "{text}");
+        assert!(text.contains("\"t.jsonsnap.poisoned\":null"), "{text}");
+        assert!(
+            text.contains("\"t.jsonsnap.hist\":{\"count\":2,\"sum\":3.5}"),
+            "{text}"
+        );
+        // Shape: one object with the three kind groups.
+        assert!(text.starts_with("{\"counters\":{"), "{text}");
+        assert!(text.ends_with("}}"), "{text}");
     }
 
     #[test]

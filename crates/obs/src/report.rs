@@ -77,13 +77,15 @@ fn parse_span_line(line: &str) -> Result<ParsedSpan, String> {
     })
 }
 
-/// Character-level cursor over one JSONL line.
-struct Parser<'a> {
+/// Character-level cursor over one JSON line. Shared with
+/// [`crate::history`], which parses its run records with the same
+/// machinery (hence the `pub(crate)` surface).
+pub(crate) struct Parser<'a> {
     rest: &'a str,
 }
 
 impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
+    pub(crate) fn new(s: &'a str) -> Self {
         Parser { rest: s }
     }
 
@@ -91,7 +93,7 @@ impl<'a> Parser<'a> {
         self.rest = self.rest.trim_start();
     }
 
-    fn expect(&mut self, c: char) -> Result<(), String> {
+    pub(crate) fn expect(&mut self, c: char) -> Result<(), String> {
         self.skip_ws();
         match self.rest.strip_prefix(c) {
             Some(rest) => {
@@ -102,7 +104,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn try_consume(&mut self, c: char) -> bool {
+    pub(crate) fn try_consume(&mut self, c: char) -> bool {
         self.skip_ws();
         if let Some(rest) = self.rest.strip_prefix(c) {
             self.rest = rest;
@@ -112,7 +114,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn end(&mut self) -> Result<(), String> {
+    pub(crate) fn end(&mut self) -> Result<(), String> {
         self.skip_ws();
         if self.rest.is_empty() {
             Ok(())
@@ -121,7 +123,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         self.skip_ws();
         let digits: usize = self.rest.bytes().take_while(|b| b.is_ascii_digit()).count();
         if digits == 0 {
@@ -130,6 +132,48 @@ impl<'a> Parser<'a> {
         let (num, rest) = self.rest.split_at(digits);
         self.rest = rest;
         num.parse().map_err(|e| format!("bad number {num:?}: {e}"))
+    }
+
+    /// A JSON number as `f64`; a literal `null` parses as NaN (the
+    /// history emitters write `null` for non-finite values, and NaN
+    /// makes every regression comparison false, which is the safe read).
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        if let Some(rest) = self.rest.strip_prefix("null") {
+            self.rest = rest;
+            return Ok(f64::NAN);
+        }
+        let len = self
+            .rest
+            .bytes()
+            .take_while(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+            .count();
+        if len == 0 {
+            return Err(format!("expected number at {:?}", truncate(self.rest)));
+        }
+        let (num, rest) = self.rest.split_at(len);
+        self.rest = rest;
+        num.parse().map_err(|e| format!("bad number {num:?}: {e}"))
+    }
+
+    /// A `{"name": number, ...}` object (the history metrics map).
+    pub(crate) fn f64_map(&mut self) -> Result<BTreeMap<String, f64>, String> {
+        let mut map = BTreeMap::new();
+        self.expect('{')?;
+        if self.try_consume('}') {
+            return Ok(map);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            let value = self.f64()?;
+            map.insert(key, value);
+            if !self.try_consume(',') {
+                break;
+            }
+        }
+        self.expect('}')?;
+        Ok(map)
     }
 
     fn u64_or_null(&mut self) -> Result<Option<u64>, String> {
@@ -142,7 +186,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    pub(crate) fn string(&mut self) -> Result<String, String> {
         self.expect('"')?;
         let mut out = String::new();
         let mut chars = self.rest.char_indices();
@@ -187,7 +231,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string_map(&mut self) -> Result<BTreeMap<String, String>, String> {
+    pub(crate) fn string_map(&mut self) -> Result<BTreeMap<String, String>, String> {
         let mut map = BTreeMap::new();
         self.expect('{')?;
         if self.try_consume('}') {

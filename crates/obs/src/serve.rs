@@ -1,0 +1,254 @@
+//! Live monitoring: a std-only background HTTP/1.1 server over the
+//! tracer ring and metrics registry.
+//!
+//! Production systems are scraped while they run; a post-mortem trace
+//! dump is no help three hours into a large partition job. [`start`]
+//! binds a `std::net::TcpListener` (port `0` picks a free port — the
+//! bound address is on the returned handle) and answers four read-only
+//! endpoints from a background thread:
+//!
+//! | path        | body                                                  |
+//! |-------------|-------------------------------------------------------|
+//! | `/healthz`  | `ok` — liveness probe                                 |
+//! | `/metrics`  | the Prometheus text exposition (`prometheus_snapshot`)|
+//! | `/spans`    | the current tracer ring as JSONL (`trace_to_jsonl`)   |
+//! | `/progress` | the metrics registry as JSON (`json_snapshot`)        |
+//!
+//! The responder is hand-rolled on purpose: the crate's zero-dependency
+//! rule (see the crate docs) covers the serving layer too, and the
+//! request surface — `GET <path>`, no bodies, `Connection: close` — is
+//! small enough that a real HTTP stack would be all dead weight.
+//!
+//! Connections are handled sequentially on the accept thread; every
+//! response is a point-in-time snapshot, so a slow scraper can delay the
+//! next scrape but never the workload (snapshotting briefly takes the
+//! same locks exports take). [`ServeHandle::shutdown`] stops the thread
+//! by flagging it and poking a wake-up connection through the listener.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::{export, metrics, tracer};
+
+/// A running monitoring server; shut it down explicitly with
+/// [`shutdown`](ServeHandle::shutdown) (dropping the handle also stops
+/// the server, so a panicking workload does not leak the thread).
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The actually-bound address (resolves port `0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Relaxed);
+        // The accept loop blocks in `accept`; a throwaway connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The most recently bound server address in this process, if any. Lets
+/// in-process callers (tests, the CLI) find a `--serve-addr 127.0.0.1:0`
+/// server without parsing log output.
+pub fn last_bound_addr() -> Option<SocketAddr> {
+    *last_addr_cell().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn last_addr_cell() -> &'static Mutex<Option<SocketAddr>> {
+    static CELL: OnceLock<Mutex<Option<SocketAddr>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(None))
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0`) and serves the monitoring endpoints
+/// from a background thread until the handle is shut down or dropped.
+pub fn start(addr: &str) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    *last_addr_cell().lock().unwrap_or_else(|p| p.into_inner()) = Some(bound);
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("bpart-obs-serve".to_string())
+        .spawn(move || accept_loop(listener, &thread_stop))?;
+    Ok(ServeHandle {
+        addr: bound,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        // A failed accept or a broken client must not kill the server.
+        if let Ok(stream) = conn {
+            let _ = handle_connection(stream);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers up to the blank line; nothing in them matters here.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path {
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                metrics::prometheus_snapshot(),
+            ),
+            "/spans" => (
+                "200 OK",
+                "application/x-ndjson",
+                export::trace_to_jsonl(&tracer::snapshot()),
+            ),
+            "/progress" => ("200 OK", "application/json", metrics::json_snapshot()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                format!("no such endpoint {path:?}; try /healthz /metrics /spans /progress\n"),
+            ),
+        }
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// Minimal HTTP GET: returns (status line, body).
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        let status = head.lines().next().unwrap_or("").to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn serves_all_four_endpoints_and_404() {
+        crate::set_trace_enabled(true);
+        metrics::counter("t.serve.requests").add(3);
+
+        let server = start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        assert_eq!(last_bound_addr(), Some(addr));
+
+        let (status, body) = get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("t_serve_requests 3"), "{body}");
+
+        // The tracer ring is shared with concurrently running tests (one
+        // of which shrinks its capacity), so retry if our span is evicted
+        // between recording and scraping.
+        let mut span_served = false;
+        for _ in 0..5 {
+            {
+                let _s = crate::span("t.serve.span");
+            }
+            let (status, body) = get(addr, "/spans");
+            assert!(status.contains("200"), "{status}");
+            if body.contains("\"name\":\"t.serve.span\"") {
+                span_served = true;
+                break;
+            }
+        }
+        assert!(span_served, "/spans never contained the recorded span");
+
+        let (status, body) = get(addr, "/progress");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"counters\""), "{body}");
+        assert!(body.contains("\"t.serve.requests\":3"), "{body}");
+
+        let (status, _) = get(addr, "/flamegraph");
+        assert!(status.contains("404"), "{status}");
+
+        server.shutdown();
+        // The port is released: a fresh bind to the same address works.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after shutdown");
+    }
+
+    #[test]
+    fn rejects_non_get_methods() {
+        let server = start("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("405"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropping_the_handle_stops_the_server() {
+        let addr = {
+            let server = start("127.0.0.1:0").expect("bind");
+            server.addr()
+        };
+        assert!(TcpListener::bind(addr).is_ok(), "drop must stop the server");
+    }
+}

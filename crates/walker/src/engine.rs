@@ -212,6 +212,14 @@ impl WalkEngine {
                 &[16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0],
             )
         });
+        static PROGRESS: OnceLock<&'static bpart_obs::metrics::Gauge> = OnceLock::new();
+        static ACTIVE: OnceLock<&'static bpart_obs::metrics::Gauge> = OnceLock::new();
+        // Live progress for the `/progress` monitoring endpoint: current
+        // superstep and how many walkers are still in flight.
+        let progress_gauge =
+            PROGRESS.get_or_init(|| bpart_obs::metrics::gauge("walker.progress_superstep"));
+        let active_gauge =
+            ACTIVE.get_or_init(|| bpart_obs::metrics::gauge("walker.progress_active"));
 
         loop {
             let active: usize = states.iter().map(|s| s.queue.len()).sum();
@@ -219,6 +227,8 @@ impl WalkEngine {
                 break;
             }
             let replaying = superstep < high_water;
+            progress_gauge.set(superstep as f64);
+            active_gauge.set(active as f64);
             let mut step_span = bpart_obs::span("walker.superstep");
             step_span.attr("superstep", superstep);
             step_span.attr("active", active);
@@ -311,6 +321,10 @@ impl WalkEngine {
                 for (m, c) in compute.iter_mut().enumerate() {
                     *c *= faults.compute_factor(superstep, m as MachineId);
                 }
+                // The wasted stepping work still counts toward waiting;
+                // comm defaults to zeros in the analyzer, matching the
+                // record below.
+                step_span.attr("compute", bpart_obs::analysis::join_timings(&compute));
                 let recovery = restore_time(&self.cost, &checkpoint);
                 telemetry.record(IterationRecord {
                     compute,
@@ -396,6 +410,10 @@ impl WalkEngine {
                         .comm_time(sent[m], ex.received[m] + dup_extra_received[m])
                 })
                 .collect();
+            // Per-machine timings on the span so the critical-path
+            // analyzer matches `Telemetry::summary()` bit-exactly.
+            step_span.attr("compute", bpart_obs::analysis::join_timings(&compute));
+            step_span.attr("comm", bpart_obs::analysis::join_timings(&comm));
             telemetry.record(IterationRecord {
                 compute,
                 comm,
