@@ -1,0 +1,146 @@
+//! Criterion microbenchmarks for the four hot-path kernels of the speed
+//! pass (DESIGN.md §12): the branchless flat-array score loop, cached
+//! alias-table sampling, the arena-backed superstep exchange, and the
+//! zero-copy binary graph load. Each group reports element (or byte)
+//! throughput so regressions show up as rate drops, not just time blips.
+//!
+//!     cargo bench -p bpart-bench --bench hotpath
+
+use bpart_cluster::{Exchange, MessageArena, Router};
+use bpart_core::bpart::WeightedStream;
+use bpart_core::prelude::*;
+use bpart_graph::{generate, io, CsrGraph};
+use bpart_walker::{CachedTransitions, Walker};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// The twitter_like preset at 5% — big enough that the score loop
+/// dominates, small enough for tight bench iterations.
+fn bench_graph() -> CsrGraph {
+    generate::twitter_like().generate_scaled(0.05)
+}
+
+/// Flat-array phase-1 scoring: the sequential streaming pass whose inner
+/// loop is the branchless per-partition reduction (one Fennel config, one
+/// BPart phase-1 config). Throughput is edges/s — the unit the CI gate
+/// watches.
+fn bench_flat_scoring(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("hotpath_flat_scoring");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    group.sample_size(10);
+    group.bench_function("fennel_seq_k8", |b| {
+        b.iter(|| Fennel::default().partition(&graph, 8))
+    });
+    group.bench_function("bpart_p1_seq_k8", |b| {
+        b.iter(|| WeightedStream::default().partition(&graph, 8))
+    });
+    group.finish();
+}
+
+/// Cached alias sampling: repeated weighted draws from the same
+/// neighborhoods, which after the first visit hit the per-vertex (or
+/// shared per-degree uniform) alias table instead of rebuilding it.
+fn bench_alias_sampling(c: &mut Criterion) {
+    let graph = generate::erdos_renyi(2_000, 60_000, 7);
+    let vertices: Vec<_> = graph
+        .vertices()
+        .filter(|&v| graph.out_degree(v) > 0)
+        .collect();
+    const DRAWS: u64 = 100_000;
+    let mut group = c.benchmark_group("hotpath_alias_sampling");
+    group.throughput(Throughput::Elements(DRAWS));
+    group.sample_size(10);
+    for max_weight in [1u32, 16] {
+        let label = if max_weight == 1 {
+            "uniform"
+        } else {
+            "weighted"
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &max_weight,
+            |b, &max_weight| {
+                let cached = CachedTransitions::synthetic(&graph, max_weight);
+                let mut walker = Walker::new(0, vertices[0], 42);
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for i in 0..DRAWS {
+                        let v = vertices[i as usize % vertices.len()];
+                        if let Some(next) = cached.sample(&mut walker, &graph, v) {
+                            acc = acc.wrapping_add(next as u64);
+                        }
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Arena-backed superstep exchange: stage messages into per-machine
+/// arenas, run the capacity-preserving barrier, drain the inboxes, and
+/// hand the rows back — the walker/iteration engines' per-superstep
+/// messaging round trip, with zero steady-state allocation.
+fn bench_arena_exchange(c: &mut Criterion) {
+    const K: usize = 8;
+    const MSGS_PER_MACHINE: usize = 4_000;
+    let mut group = c.benchmark_group("hotpath_arena_exchange");
+    group.throughput(Throughput::Elements((K * MSGS_PER_MACHINE) as u64));
+    group.sample_size(20);
+    group.bench_function("k8_roundtrip", |b| {
+        let mut arenas: Vec<MessageArena<u64>> = (0..K).map(|_| MessageArena::new(K)).collect();
+        let mut router: Router<u64> = Router::new(K);
+        let mut ex: Exchange<u64> = Exchange::default();
+        let mut inbox_total = 0u64;
+        b.iter(|| {
+            for (from, arena) in arenas.iter_mut().enumerate() {
+                for i in 0..MSGS_PER_MACHINE {
+                    arena.push(
+                        ((from + i) % K) as u32,
+                        (from * MSGS_PER_MACHINE + i) as u64,
+                    );
+                }
+            }
+            router.put_rows(arenas.iter_mut().map(|a| a.take_filled()).collect());
+            router.exchange_into(&mut ex);
+            for inbox in &mut ex.inboxes {
+                inbox_total += inbox.len() as u64;
+                inbox.clear();
+            }
+            for (arena, row) in arenas.iter_mut().zip(router.take_rows()) {
+                arena.put_drained(row);
+            }
+            black_box(inbox_total)
+        })
+    });
+    group.finish();
+}
+
+/// Binary graph decode: the validated zero-copy byte parser against the
+/// same bytes through the owned streaming reader. Throughput is bytes/s
+/// of the on-disk format.
+fn bench_binfmt_load(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut bytes = Vec::new();
+    io::write_binary(&graph, &mut bytes).unwrap();
+    let mut group = c.benchmark_group("hotpath_binfmt_load");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.sample_size(10);
+    group.bench_function("read_binary_bytes", |b| {
+        b.iter(|| io::read_binary_bytes(black_box(&bytes)).unwrap())
+    });
+    group.bench_function("read_binary_owned", |b| {
+        b.iter(|| io::read_binary(black_box(bytes.as_slice())).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flat_scoring,
+    bench_alias_sampling,
+    bench_arena_exchange,
+    bench_binfmt_load
+);
+criterion_main!(benches);

@@ -4,8 +4,13 @@
 //!
 //! For Fennel and BPart-P1 (the two schemes built on the shared streaming
 //! engine), each thread count runs the same partition and reports
-//! throughput (vertices/s), speedup over the sequential run, edge-cut
-//! ratio, and the commit-barrier synchronization stall.
+//! throughput (vertices/s and edges/s), speedup over the sequential run,
+//! edge-cut ratio, and the commit-barrier synchronization stall. A
+//! hot-path probe then times the sequential phase-1 pass and a walker
+//! run on the twitter_like preset (best of N) and records edges/s and
+//! steps/s plus their inverse unit costs into `BENCH_stream.json` and
+//! `results/history/hotpath.json`, which CI diffs against the checked-in
+//! `baseline-hotpath.json`.
 //!
 //! The buffer is sized to ~1/16 of the vertex stream (capped at the
 //! engine default), keeping the buffer/stream ratio — which is what the
@@ -29,6 +34,8 @@ use bpart_core::bpart::WeightedStream;
 use bpart_core::metrics;
 use bpart_core::prelude::*;
 use bpart_core::DEFAULT_BUFFER_SIZE;
+use bpart_walker::{apps as wapps, WalkEngine, WalkStarts};
+use std::sync::Arc;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 const K: usize = 8;
@@ -38,6 +45,7 @@ struct Run {
     threads: usize,
     secs: f64,
     throughput: f64,
+    eps: f64,
     speedup: f64,
     cut: f64,
     stall: f64,
@@ -86,6 +94,7 @@ fn main() {
                 threads,
                 secs: stats.secs,
                 throughput: stats.vertices_per_sec(),
+                eps: stats.edges_per_sec(),
                 speedup: if stats.secs > 0.0 {
                     base_secs / stats.secs
                 } else {
@@ -99,7 +108,7 @@ fn main() {
     }
 
     let header: Vec<String> = [
-        "scheme", "threads", "secs", "v/s", "speedup", "cut", "stall",
+        "scheme", "threads", "secs", "v/s", "e/s", "speedup", "cut", "stall",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -112,6 +121,7 @@ fn main() {
                 r.threads.to_string(),
                 format!("{:.3}", r.secs),
                 format!("{:.0}", r.throughput),
+                format!("{:.0}", r.eps),
                 format!("{:.2}x", r.speedup),
                 format!("{:.3}", r.cut),
                 format!("{:.1}%", r.stall * 100.0),
@@ -159,6 +169,60 @@ fn main() {
         overhead * 100.0
     );
 
+    // Hot-path throughput probe (ROADMAP item 5): the sequential phase-1
+    // pass and a walker run on the twitter_like preset, best of N so
+    // scheduler noise does not leak into the recorded numbers. Alongside
+    // each throughput we record its *inverse* unit cost (ns/edge,
+    // ns/step): `obs diff` treats growth as regression, and throughput
+    // regresses by shrinking, so the unit costs are what CI watches
+    // against `results/history/baseline-hotpath.json`.
+    const HOT_REPS: usize = 3;
+    let tg = dataset("twitter_like");
+    let hot_buffer = (tg.num_vertices() / 16).clamp(1, DEFAULT_BUFFER_SIZE);
+    let mut p1_eps = 0.0f64;
+    let mut p1_partition = None;
+    for _ in 0..HOT_REPS {
+        let scheme = scheme_at(
+            "BPart-P1",
+            ParallelConfig {
+                threads: 1,
+                buffer_size: hot_buffer,
+            },
+        );
+        let (partition, stats) = scheme.partition_with_stats(&tg, K);
+        p1_eps = p1_eps.max(stats.edges_per_sec());
+        p1_partition = Some(partition);
+    }
+    let graph = Arc::new(tg);
+    let partition = Arc::new(p1_partition.expect("HOT_REPS > 0"));
+    let walk_app = wapps::DeepWalk::new(20);
+    let mut walk_steps = 0u64;
+    let mut walk_sps = 0.0f64;
+    for _ in 0..HOT_REPS {
+        let engine = WalkEngine::default_for(graph.clone(), partition.clone());
+        let (run, secs) = timed(|| engine.run(&walk_app, &WalkStarts::PerVertex(1), 42));
+        walk_steps = run.total_steps;
+        if secs > 0.0 {
+            walk_sps = walk_sps.max(run.total_steps as f64 / secs);
+        }
+    }
+    let inverse_ns = |per_sec: f64| if per_sec > 0.0 { 1e9 / per_sec } else { 0.0 };
+    println!(
+        "hotpath (twitter_like): phase-1 {p1_eps:.0} edges/s ({:.1} ns/edge), \
+         walker {walk_sps:.0} steps/s ({:.1} ns/step)\n",
+        inverse_ns(p1_eps),
+        inverse_ns(walk_sps)
+    );
+    let hotpath = json::object(&[
+        ("dataset", json::string("twitter_like")),
+        ("edges", graph.num_edges().to_string()),
+        ("p1_edges_per_sec", json::number(p1_eps)),
+        ("p1_ns_per_edge", json::number(inverse_ns(p1_eps))),
+        ("walk_steps", walk_steps.to_string()),
+        ("walk_steps_per_sec", json::number(walk_sps)),
+        ("walk_ns_per_step", json::number(inverse_ns(walk_sps))),
+    ]);
+
     let items: Vec<String> = runs
         .iter()
         .map(|r| {
@@ -167,6 +231,7 @@ fn main() {
                 ("threads", r.threads.to_string()),
                 ("secs", json::number(r.secs)),
                 ("vertices_per_sec", json::number(r.throughput)),
+                ("edges_per_sec", json::number(r.eps)),
                 ("speedup", json::number(r.speedup)),
                 ("cut_ratio", json::number(r.cut)),
                 ("sync_stall_ratio", json::number(r.stall)),
@@ -182,6 +247,12 @@ fn main() {
         (
             "stream_vertices",
             bpart_obs::metrics::counter("stream.vertices")
+                .get()
+                .to_string(),
+        ),
+        (
+            "stream_edges",
+            bpart_obs::metrics::counter("stream.edges")
                 .get()
                 .to_string(),
         ),
@@ -226,10 +297,26 @@ fn main() {
         ("k", K.to_string()),
         ("buffer_size", buffer_size.to_string()),
         ("runs", json::array(&items)),
+        ("hotpath", hotpath),
         ("metrics", obs_metrics),
         ("tracing", obs_overhead),
     ]);
     write_bench_json("BENCH_stream.json", &doc);
+
+    // Hot-path history record, diffed by CI against the checked-in
+    // baseline (watched: the inverse unit costs; throughputs ride along
+    // for human reading).
+    write_history_record(
+        "hotpath",
+        "twitter_like",
+        &[("k", K.to_string()), ("walk_len", "20".to_string())],
+        &[
+            ("p1_edges_per_sec".to_string(), p1_eps),
+            ("p1_ns_per_edge".to_string(), inverse_ns(p1_eps)),
+            ("walk_steps_per_sec".to_string(), walk_sps),
+            ("walk_ns_per_step".to_string(), inverse_ns(walk_sps)),
+        ],
+    );
 
     // History record for run-to-run regression diffing: the deterministic
     // cut ratios are the watched metrics (timings vary across hosts and
@@ -239,6 +326,7 @@ fn main() {
         let slug = format!("{}_t{}", metric_slug(r.scheme), r.threads);
         hist.push((format!("{slug}_cut"), r.cut));
         hist.push((format!("{slug}_secs"), r.secs));
+        hist.push((format!("{slug}_eps"), r.eps));
         hist.push((format!("{slug}_stall"), r.stall));
     }
     hist.push(("tracing_overhead".to_string(), overhead));

@@ -328,10 +328,12 @@ fn is_binary_partition(path: &str) -> bool {
 
 /// Loads a graph from text or binary by extension.
 pub fn load_graph(path: &str) -> Result<CsrGraph, CliError> {
-    let file = File::open(path).map_err(|e| fail(format!("cannot open {path}: {e}")))?;
     if is_binary_graph(path) {
-        io::read_binary(file).map_err(|e| fail(format!("{path}: {e}")))
+        // Zero-copy load: parses out of an mmap view when possible,
+        // falling back to an owned read.
+        io::load_binary(path).map_err(|e| fail(format!("{path}: {e}")))
     } else {
+        let file = File::open(path).map_err(|e| fail(format!("cannot open {path}: {e}")))?;
         Ok(io::read_edge_list(file)
             .map_err(|e| fail(format!("{path}: {e}")))?
             .into_csr())

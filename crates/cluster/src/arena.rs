@@ -1,0 +1,207 @@
+//! Reusable per-machine message-staging arenas.
+//!
+//! A BSP superstep stages messages into per-destination buffers, ships
+//! them at the barrier, and starts over. Allocating those buffers fresh
+//! every superstep (the engines' original behaviour) churns the allocator
+//! in proportion to message volume. A [`MessageArena`] is the bump-style
+//! alternative: each machine keeps one staging row for the whole run, the
+//! buffers grow to their high-water mark once, and each superstep "resets"
+//! the arena by draining it — the capacity is retained, never dropped.
+//!
+//! Lifecycle per superstep:
+//!
+//! 1. compute phase — the owning machine [`push`](MessageArena::push)es
+//!    messages into its arena (disjoint per machine, so the threaded
+//!    executor needs no locks);
+//! 2. [`take_filled`](MessageArena::take_filled) moves the row into the
+//!    [`Router`](crate::Router) (one pointer move per destination);
+//! 3. [`Router::exchange_into`](crate::Router::exchange_into) drains
+//!    every buffer in place, leaving them empty with capacity intact;
+//! 4. [`put_drained`](MessageArena::put_drained) hands the drained row
+//!    back for the next superstep.
+//!
+//! On a fault rollback the exchange never happens;
+//! [`reset`](MessageArena::reset) clears whatever was staged (again
+//! keeping capacity) so the replayed superstep starts from a clean arena.
+//!
+//! Message content and delivery order are completely unaffected — the
+//! arena only changes *where the bytes live*, so partitions, PageRank
+//! values, and walk traces stay bit-identical to the allocate-per-step
+//! engines (see the engines' determinism tests).
+
+use crate::MachineId;
+
+/// One machine's reusable per-destination staging row.
+#[derive(Clone, Debug)]
+pub struct MessageArena<M> {
+    /// `boxes[to]` — messages staged for machine `to`. Empty (`len == 0`,
+    /// outer `Vec` too) while the row is lent to the router.
+    boxes: Vec<Vec<M>>,
+    num_machines: usize,
+    /// Largest number of messages staged in a single superstep.
+    high_water: usize,
+}
+
+impl<M> MessageArena<M> {
+    /// An empty arena for a `k`-machine cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_machines` is zero.
+    pub fn new(num_machines: usize) -> Self {
+        assert!(num_machines > 0, "need at least one machine");
+        MessageArena {
+            boxes: (0..num_machines).map(|_| Vec::new()).collect(),
+            num_machines,
+            high_water: 0,
+        }
+    }
+
+    /// Number of machines (destination buffers).
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Stages a message for machine `to`.
+    #[inline]
+    pub fn push(&mut self, to: MachineId, msg: M) {
+        self.boxes[to as usize].push(msg);
+    }
+
+    /// Messages currently staged across all destinations.
+    pub fn staged(&self) -> usize {
+        self.boxes.iter().map(Vec::len).sum()
+    }
+
+    /// Total element capacity currently reserved across all destinations
+    /// — stays at the high-water mark between supersteps, which is the
+    /// whole point.
+    pub fn reserved(&self) -> usize {
+        self.boxes.iter().map(Vec::capacity).sum()
+    }
+
+    /// Largest number of messages ever staged in one superstep.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Moves the filled row out (for [`Router::put_rows`]), leaving the
+    /// arena rowless until [`put_drained`](MessageArena::put_drained)
+    /// returns it.
+    ///
+    /// [`Router::put_rows`]: crate::Router::put_rows
+    pub fn take_filled(&mut self) -> Vec<Vec<M>> {
+        let row = std::mem::take(&mut self.boxes);
+        self.high_water = self.high_water.max(row.iter().map(Vec::len).sum());
+        row
+    }
+
+    /// Returns a drained row after the exchange. The row must match this
+    /// arena's machine count and be fully drained — handing back a
+    /// non-empty row would leak its messages into the next superstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has the wrong arity or still holds messages.
+    pub fn put_drained(&mut self, row: Vec<Vec<M>>) {
+        assert_eq!(row.len(), self.num_machines, "row arity mismatch");
+        assert!(
+            row.iter().all(Vec::is_empty),
+            "row still holds staged messages"
+        );
+        self.boxes = row;
+    }
+
+    /// Clears every staged message, keeping buffer capacity. Engines call
+    /// this on fault rollback, where the superstep that staged the
+    /// messages is abandoned and will be replayed.
+    pub fn reset(&mut self) {
+        for b in &mut self.boxes {
+            b.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Router;
+
+    #[test]
+    fn lifecycle_round_trip_through_the_router() {
+        let mut arenas: Vec<MessageArena<u32>> = (0..3).map(|_| MessageArena::new(3)).collect();
+        let mut router: Router<u32> = Router::new(3);
+        let mut ex = crate::router::Exchange::default();
+
+        arenas[0].push(1, 10);
+        arenas[0].push(1, 11);
+        arenas[2].push(0, 20);
+        assert_eq!(arenas[0].staged(), 2);
+
+        router.put_rows(arenas.iter_mut().map(MessageArena::take_filled).collect());
+        router.exchange_into(&mut ex);
+        assert_eq!(ex.inboxes[1], vec![10, 11]);
+        assert_eq!(ex.inboxes[0], vec![20]);
+        for (arena, row) in arenas.iter_mut().zip(router.take_rows()) {
+            arena.put_drained(row);
+        }
+        assert_eq!(arenas[0].staged(), 0);
+        assert_eq!(arenas[0].high_water(), 2);
+        assert_eq!(arenas[2].high_water(), 1);
+    }
+
+    #[test]
+    fn capacity_survives_the_drain() {
+        let mut arena: MessageArena<u64> = MessageArena::new(2);
+        let mut router: Router<u64> = Router::new(2);
+        let mut ex = crate::router::Exchange::default();
+        for step in 0..4 {
+            for i in 0..100 {
+                arena.push((i % 2) as MachineId, i);
+            }
+            router.put_rows(vec![arena.take_filled(), vec![Vec::new(), Vec::new()]]);
+            router.exchange_into(&mut ex);
+            arena.put_drained(router.take_rows().swap_remove(0));
+            assert_eq!(arena.staged(), 0);
+            if step > 0 {
+                // The drained buffers keep their high-water capacity.
+                assert!(arena.reserved() >= 100, "step {step}: {}", arena.reserved());
+            }
+        }
+        assert_eq!(arena.high_water(), 100);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_capacity() {
+        let mut arena: MessageArena<u8> = MessageArena::new(2);
+        for _ in 0..50 {
+            arena.push(1, 7);
+        }
+        let reserved = arena.reserved();
+        arena.reset();
+        assert_eq!(arena.staged(), 0);
+        assert_eq!(arena.reserved(), reserved);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn put_drained_rejects_wrong_arity() {
+        let mut arena: MessageArena<u8> = MessageArena::new(3);
+        let _ = arena.take_filled();
+        arena.put_drained(vec![Vec::new(); 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "still holds staged messages")]
+    fn put_drained_rejects_undrained_rows() {
+        let mut arena: MessageArena<u8> = MessageArena::new(2);
+        let _ = arena.take_filled();
+        arena.put_drained(vec![vec![1], Vec::new()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_panics() {
+        let _: MessageArena<u8> = MessageArena::new(0);
+    }
+}

@@ -9,6 +9,9 @@
 //!   ownership lookup,
 //! * [`router::Router`] — per-destination message buffers with a
 //!   deterministic all-to-all exchange at the superstep boundary,
+//! * [`arena::MessageArena`] — reusable per-machine staging rows that
+//!   keep their high-water capacity across supersteps, so steady-state
+//!   supersteps allocate nothing for messaging,
 //! * [`cost::CostModel`] / [`cost::WorkUnits`] — converts counted work
 //!   (walk steps, edges scanned, vertices updated, messages) into modelled
 //!   time, calibrated so compute dominates as on the paper's 56 Gbps fabric,
@@ -26,15 +29,17 @@
 //! the paper's metrics are all ratios between machines or schemes, which a
 //! unit cost model reproduces faithfully (DESIGN.md §3).
 
+pub mod arena;
 pub mod cost;
 pub mod exec;
 pub mod fault;
 pub mod router;
 pub mod telemetry;
 
+pub use arena::MessageArena;
 pub use cost::{CostModel, WorkUnits};
 pub use fault::{FaultPlan, FaultState, LinkOverhead, MachineFailure, UnrecoverableFailure};
-pub use router::Router;
+pub use router::{Exchange, Router};
 pub use telemetry::{IterationRecord, MachineWaiting, Telemetry, TelemetrySummary};
 
 use bpart_core::{PartId, Partition};

@@ -18,7 +18,7 @@ pub struct Router<M> {
 }
 
 /// Per-superstep exchange outcome.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Exchange<M> {
     /// Delivered messages per machine, in deterministic sender order.
     pub inboxes: Vec<Vec<M>>,
@@ -26,6 +26,17 @@ pub struct Exchange<M> {
     pub sent: Vec<u64>,
     /// Messages received by each machine this superstep.
     pub received: Vec<u64>,
+}
+
+// Manual impl: the derive would needlessly require `M: Default`.
+impl<M> Default for Exchange<M> {
+    fn default() -> Self {
+        Exchange {
+            inboxes: Vec::new(),
+            sent: Vec::new(),
+            received: Vec::new(),
+        }
+    }
 }
 
 impl<M> Router<M> {
@@ -120,25 +131,50 @@ impl<M> Router<M> {
         &self.sent_total
     }
 
-    /// The BSP barrier: delivers all staged messages.
+    /// The BSP barrier: delivers all staged messages into a fresh
+    /// [`Exchange`]. One-shot convenience over
+    /// [`exchange_into`](Router::exchange_into).
     pub fn exchange(&mut self) -> Exchange<M> {
+        let mut ex = Exchange {
+            inboxes: Vec::new(),
+            sent: Vec::new(),
+            received: Vec::new(),
+        };
+        self.exchange_into(&mut ex);
+        ex
+    }
+
+    /// The BSP barrier, reusing the caller's [`Exchange`] buffers.
+    ///
+    /// `ex` is resized to `k` machines, its inboxes cleared (capacity
+    /// kept), and every outbox drained in place via [`Vec::append`] — so
+    /// both sides of the barrier retain their high-water capacity across
+    /// supersteps instead of reallocating each one. Delivery order is
+    /// identical to [`exchange`](Router::exchange): inbox contents are
+    /// concatenated in sender order, preserving each sender's append
+    /// order.
+    pub fn exchange_into(&mut self, ex: &mut Exchange<M>) {
         use std::sync::OnceLock;
         static MESSAGES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
         static BYTES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
 
         let mut span = bpart_obs::span("cluster.exchange");
         let k = self.num_machines();
-        let mut ex = Exchange {
-            inboxes: (0..k).map(|_| Vec::new()).collect(),
-            sent: vec![0; k],
-            received: vec![0; k],
-        };
+        ex.inboxes.resize_with(k, Vec::new);
+        for inbox in &mut ex.inboxes {
+            inbox.clear();
+        }
+        ex.sent.clear();
+        ex.sent.resize(k, 0);
+        ex.received.clear();
+        ex.received.resize(k, 0);
         for from in 0..k {
             for to in 0..k {
-                let staged = std::mem::take(&mut self.outboxes[from][to]);
-                ex.sent[from] += staged.len() as u64;
-                ex.received[to] += staged.len() as u64;
-                ex.inboxes[to].extend(staged);
+                let staged = &mut self.outboxes[from][to];
+                let n = staged.len() as u64;
+                ex.sent[from] += n;
+                ex.received[to] += n;
+                ex.inboxes[to].append(staged);
             }
             self.sent_total[from] += ex.sent[from];
         }
@@ -150,7 +186,6 @@ impl<M> Router<M> {
         BYTES
             .get_or_init(|| bpart_obs::metrics::counter("exchange.bytes"))
             .add(delivered * std::mem::size_of::<M>() as u64);
-        ex
     }
 }
 
@@ -191,6 +226,29 @@ mod tests {
         r.send(1, 0, 3);
         r.exchange();
         assert_eq!(r.sent_totals(), &[2, 1]);
+    }
+
+    #[test]
+    fn exchange_into_reuses_buffers_and_matches_exchange() {
+        let mut a: Router<u32> = Router::new(3);
+        let mut b: Router<u32> = Router::new(3);
+        let mut ex = Exchange::default();
+        for step in 0..3u32 {
+            for (from, to, base) in [(2, 0, 20), (1, 0, 10), (0, 2, 5)] {
+                a.send(from, to, base + step);
+                b.send(from, to, base + step);
+            }
+            a.exchange_into(&mut ex);
+            let fresh = b.exchange();
+            assert_eq!(ex.inboxes, fresh.inboxes);
+            assert_eq!(ex.sent, fresh.sent);
+            assert_eq!(ex.received, fresh.received);
+            // Both the reused inboxes and the drained outboxes keep their
+            // capacity for the next superstep.
+            assert!(ex.inboxes[0].capacity() >= 2);
+            assert_eq!(a.staged(), 0);
+        }
+        assert_eq!(a.sent_totals(), b.sent_totals());
     }
 
     #[test]

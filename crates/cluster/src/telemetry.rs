@@ -331,6 +331,7 @@ mod tests {
         assert_eq!(t.partition_throughput(), 0.0);
         t.record_partition(StreamStats {
             vertices: 1_000,
+            edges: 30_000,
             buffers: 4,
             secs: 0.5,
             sync_secs: 0.1,

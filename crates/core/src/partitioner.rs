@@ -28,6 +28,7 @@ pub trait Partitioner {
         let partition = self.partition(graph, num_parts);
         let stats = StreamStats {
             vertices: graph.num_vertices(),
+            edges: graph.num_edges() as u64,
             buffers: 0,
             secs: start.elapsed().as_secs_f64(),
             sync_secs: 0.0,

@@ -38,75 +38,80 @@
 //! is built directly on [`std::thread::scope`].
 
 use super::{
-    seed_state, BufferRecord, MinWeight, Scorer, StreamConfig, StreamOutcome, StreamStats,
+    seed_state, BufferRecord, FlatParts, FlatScorer, StreamConfig, StreamOutcome, StreamStats,
     UNASSIGNED,
 };
 use crate::partition::PartId;
 use bpart_graph::{CsrGraph, VertexId};
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Intra-buffer restream rounds after the initial commit (see module docs).
 const REFINE_PASSES: usize = 1;
+
+/// Sentinel marking "no chunk-local decision yet" in the dense proposal
+/// overlay of [`ChunkScratch`]. Distinct from [`UNASSIGNED`], which the
+/// overlay stores for vertices a restream round has taken out of their part.
+const NOT_OVERLAID: PartId = PartId::MAX - 1;
 
 /// Mutable global state of a buffered pass, shared by the commit barriers.
 struct GlobalState {
     assignment: Vec<PartId>,
     vertex_counts: Vec<u64>,
     edge_counts: Vec<u64>,
-    weights: Vec<f64>,
-    min_tracker: MinWeight,
-    // Commit-phase scratch (same touched-list trick as the sequential pass).
+    parts: FlatParts,
+    // Commit-phase scratch (same trash-slot trick as the sequential pass:
+    // `k` part slots plus one absorbing unassigned neighbors branchlessly).
     nbr_counts: Vec<u32>,
-    touched: Vec<PartId>,
 }
 
 impl GlobalState {
-    fn remove(&mut self, graph: &CsrGraph, v: VertexId, delta: f64) {
+    fn remove(&mut self, graph: &CsrGraph, v: VertexId, delta: f64, scorer: &FlatScorer) {
         let old = self.assignment[v as usize];
         debug_assert_ne!(old, UNASSIGNED);
         self.assignment[v as usize] = UNASSIGNED;
         self.vertex_counts[old as usize] -= 1;
         self.edge_counts[old as usize] -= graph.out_degree(v) as u64;
-        // Clamped: rounding error must not go negative (see the sequential
-        // removal in mod.rs — negative weights break MinWeight's bit
-        // ordering and NaN-poison the balance penalty).
-        self.weights[old as usize] = (self.weights[old as usize] - delta).max(0.0);
-        self.min_tracker.push(old, self.weights[old as usize]);
+        self.parts.remove(old, delta, scorer);
     }
 
-    fn apply(&mut self, graph: &CsrGraph, v: VertexId, part: PartId, delta: f64) {
+    fn apply(
+        &mut self,
+        graph: &CsrGraph,
+        v: VertexId,
+        part: PartId,
+        delta: f64,
+        scorer: &FlatScorer,
+    ) {
         self.assignment[v as usize] = part;
         self.vertex_counts[part as usize] += 1;
         self.edge_counts[part as usize] += graph.out_degree(v) as u64;
-        self.weights[part as usize] += delta;
-        self.min_tracker.push(part, self.weights[part as usize]);
+        self.parts.add(part, delta, scorer);
     }
 
     /// Commits one proposal, rescoring against the live weights when the
     /// stale snapshot let the proposed part fill past its capacity.
-    fn commit(&mut self, graph: &CsrGraph, scorer: &Scorer, v: VertexId, p: PartId, delta: f64) {
-        let min_part = self.min_tracker.min_part(&self.weights);
-        let part = if self.weights[p as usize] >= scorer.capacity && p != min_part {
+    fn commit(
+        &mut self,
+        graph: &CsrGraph,
+        scorer: &FlatScorer,
+        v: VertexId,
+        p: PartId,
+        delta: f64,
+    ) {
+        let min_part = self.parts.min_part();
+        let part = if self.parts.weight(p) >= scorer.capacity && p != min_part {
+            let trash = self.nbr_counts.len() - 1;
             for &w in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
-                let q = self.assignment[w as usize];
-                if q != UNASSIGNED {
-                    if self.nbr_counts[q as usize] == 0 {
-                        self.touched.push(q);
-                    }
-                    self.nbr_counts[q as usize] += 1;
-                }
+                let q = self.assignment[w as usize] as usize;
+                self.nbr_counts[q.min(trash)] += 1;
             }
-            let repaired = scorer.choose(&self.touched, &self.nbr_counts, &self.weights, min_part);
-            for &q in &self.touched {
-                self.nbr_counts[q as usize] = 0;
-            }
-            self.touched.clear();
+            let repaired = scorer.choose(&self.nbr_counts[..trash], &self.parts, min_part);
+            self.nbr_counts.fill(0);
             repaired
         } else {
             p
         };
-        self.apply(graph, v, part, delta);
+        self.apply(graph, v, part, delta, scorer);
     }
 }
 
@@ -123,21 +128,20 @@ pub(super) fn stream_assign_buffered(
     let buffer_size = config.parallel.buffer_size.max(1);
 
     let (assignment, vertex_counts, edge_counts, weights) = seed_state(graph, config, weight_delta);
-    let min_tracker = MinWeight::new(&weights);
+    let scorer = FlatScorer::new(config);
     let mut state = GlobalState {
         assignment,
         vertex_counts,
         edge_counts,
-        weights,
-        min_tracker,
-        nbr_counts: vec![0u32; k],
-        touched: Vec::new(),
+        parts: FlatParts::new(weights, &scorer),
+        nbr_counts: vec![0u32; k + 1],
     };
-    let scorer = Scorer {
-        alpha: config.alpha,
-        gamma: config.gamma,
-        capacity: config.capacity,
-    };
+    // One reusable scratch per worker slot, shared across all buffers and
+    // restream rounds of the pass — snapshot scoring allocates nothing per
+    // chunk beyond its proposal vector.
+    let mut scratches: Vec<ChunkScratch> = (0..threads)
+        .map(|_| ChunkScratch::new(graph.num_vertices(), k, &scorer))
+        .collect();
     let mut records = Vec::with_capacity(config.order.len() / buffer_size + 1);
 
     use std::sync::OnceLock;
@@ -161,7 +165,7 @@ pub(super) fn stream_assign_buffered(
         for &v in buffer {
             if state.assignment[v as usize] != UNASSIGNED {
                 debug_assert!(config.previous.is_some(), "vertex {v} streamed twice");
-                state.remove(graph, v, weight_delta(v));
+                state.remove(graph, v, weight_delta(v), &scorer);
             }
         }
 
@@ -175,11 +179,20 @@ pub(super) fn stream_assign_buffered(
             let proposals: Vec<Vec<PartId>> = std::thread::scope(|s| {
                 let handles: Vec<_> = chunks
                     .iter()
-                    .map(|&chunk| {
+                    .zip(scratches.iter_mut())
+                    .map(|(&chunk, scratch)| {
                         let state = &state;
                         let scorer = &scorer;
                         s.spawn(move || {
-                            score_chunk(graph, chunk, state, scorer, weight_delta, restream)
+                            score_chunk(
+                                graph,
+                                chunk,
+                                state,
+                                scorer,
+                                weight_delta,
+                                restream,
+                                scratch,
+                            )
                         })
                     })
                     .collect();
@@ -196,7 +209,7 @@ pub(super) fn stream_assign_buffered(
                 for (&v, &p) in chunk.iter().zip(proposal) {
                     let delta = weight_delta(v);
                     if restream {
-                        state.remove(graph, v, delta);
+                        state.remove(graph, v, delta, &scorer);
                     }
                     state.commit(graph, &scorer, v, p, delta);
                 }
@@ -227,6 +240,37 @@ pub(super) fn stream_assign_buffered(
     }
 }
 
+/// Reusable per-worker scratch for [`score_chunk`]: the private weight
+/// snapshot, a dense proposal overlay, and the neighbor-tally arrays. One
+/// scratch is allocated per worker slot per pass and reused across every
+/// buffer and restream round, so snapshot scoring does no per-call
+/// allocation (the satellite fix for the old per-chunk `clone`/`HashMap`).
+struct ChunkScratch {
+    /// Private copy of the frozen part weights and penalties.
+    parts: FlatParts,
+    /// Dense per-vertex overlay of the chunk's own decisions; entries are
+    /// restored to [`NOT_OVERLAID`] after every chunk, so reuse costs
+    /// O(chunk), not O(n).
+    overlay: Vec<PartId>,
+    /// `k` part slots plus a trailing trash slot absorbing unassigned
+    /// neighbors (branchless tally, as in the sequential pass).
+    nbr_counts: Vec<u32>,
+}
+
+impl ChunkScratch {
+    fn new(n: usize, k: usize, scorer: &FlatScorer) -> Self {
+        assert!(
+            (k as u64) < NOT_OVERLAID as u64,
+            "part count {k} overflows the PartId sentinel space"
+        );
+        ChunkScratch {
+            parts: FlatParts::new(vec![0.0; k], scorer),
+            overlay: vec![NOT_OVERLAID; n],
+            nbr_counts: vec![0u32; k + 1],
+        }
+    }
+}
+
 /// Streams one chunk sequentially against the weight snapshot plus a private
 /// overlay of the chunk's own proposals. In restream mode each vertex is
 /// first taken out of its committed part (locally) so it re-scores itself
@@ -236,56 +280,56 @@ fn score_chunk(
     graph: &CsrGraph,
     chunk: &[VertexId],
     state: &GlobalState,
-    scorer: &Scorer,
+    scorer: &FlatScorer,
     weight_delta: &(impl Fn(VertexId) -> f64 + Sync),
     restream: bool,
+    scratch: &mut ChunkScratch,
 ) -> Vec<PartId> {
     let base_assignment = &state.assignment;
-    let k = state.weights.len();
-    let mut weights = state.weights.clone();
-    let mut min_tracker = MinWeight::new(&weights);
-    let mut overlay: HashMap<VertexId, PartId> = HashMap::with_capacity(chunk.len());
-    let mut nbr_counts = vec![0u32; k];
-    let mut touched: Vec<PartId> = Vec::new();
+    scratch.parts.copy_from(&state.parts);
+    let ChunkScratch {
+        parts,
+        overlay,
+        nbr_counts,
+    } = scratch;
+    let trash = nbr_counts.len() - 1;
     let mut proposals = Vec::with_capacity(chunk.len());
 
     for &v in chunk {
         if restream {
             // Take the vertex out of its committed part before re-scoring,
             // mirroring the sequential restream rule chunk-locally.
-            let old = overlay
-                .get(&v)
-                .copied()
-                .unwrap_or(base_assignment[v as usize]);
+            let local = overlay[v as usize];
+            let old = if local == NOT_OVERLAID {
+                base_assignment[v as usize]
+            } else {
+                local
+            };
             debug_assert_ne!(old, UNASSIGNED, "restream round on unplaced vertex");
-            overlay.insert(v, UNASSIGNED);
-            // Same negative-weight clamp as the commit-side removal.
-            weights[old as usize] = (weights[old as usize] - weight_delta(v)).max(0.0);
-            min_tracker.push(old, weights[old as usize]);
+            overlay[v as usize] = UNASSIGNED;
+            parts.remove(old, weight_delta(v), scorer);
         }
+        // Branchless two-level tally: resolve overlay-vs-base with a
+        // select (both loads are unconditional and in-bounds) and absorb
+        // unassigned neighbors into the trash slot.
         for &w in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
-            let p = overlay
-                .get(&w)
-                .copied()
-                .unwrap_or(base_assignment[w as usize]);
-            if p != UNASSIGNED {
-                if nbr_counts[p as usize] == 0 {
-                    touched.push(p);
-                }
-                nbr_counts[p as usize] += 1;
-            }
+            let local = overlay[w as usize];
+            let base = base_assignment[w as usize];
+            let p = if local == NOT_OVERLAID { base } else { local } as usize;
+            nbr_counts[p.min(trash)] += 1;
         }
-        let min_part = min_tracker.min_part(&weights);
-        let part = scorer.choose(&touched, &nbr_counts, &weights, min_part);
+        let part = scorer.choose(&nbr_counts[..trash], parts, parts.min_part());
         proposals.push(part);
-        overlay.insert(v, part);
-        weights[part as usize] += weight_delta(v);
-        min_tracker.push(part, weights[part as usize]);
+        overlay[v as usize] = part;
+        parts.add(part, weight_delta(v), scorer);
 
-        for &p in &touched {
-            nbr_counts[p as usize] = 0;
-        }
-        touched.clear();
+        nbr_counts.fill(0);
+    }
+
+    // Restore the overlay sentinel so the next chunk borrowing this
+    // scratch starts clean.
+    for &v in chunk {
+        overlay[v as usize] = NOT_OVERLAID;
     }
     proposals
 }

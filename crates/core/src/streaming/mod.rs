@@ -13,9 +13,17 @@
 //! and share the same α calibration and capacity bound.
 //!
 //! Exactness note: for parts with no neighbors of `v` the score reduces to
-//! the pure penalty, which is maximized by the minimum-weight part — so only
-//! neighbor parts plus the current minimum-weight part need scoring. A lazy
-//! min-heap tracks that minimum without rescanning all `k` parts per vertex.
+//! the pure penalty, which (for `γ ≥ 1`, `α ≥ 0`) is maximized by the
+//! minimum-weight part. The scorer exploits this with flat per-partition
+//! state ([`FlatParts`]): weights, cached penalties, and neighbor counts
+//! live in contiguous arrays sized to `k`, and each vertex is placed by two
+//! branch-predictable linear reductions — an argmin over the weights for
+//! the lightest part and an argmax over `count − penalty` for the winner —
+//! instead of per-partition branches and a lazy min-heap. Because the
+//! penalty is cached per part and refreshed only when a weight changes,
+//! the scoring loop itself contains no `powf`. The pre-flat scalar
+//! implementation is retained in [`oracle`] and differential proptests
+//! hold the two bit-identical.
 //!
 //! ## Execution modes
 //!
@@ -32,8 +40,6 @@ mod buffered;
 
 use crate::partition::PartId;
 use bpart_graph::{CsrGraph, VertexId};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 use std::time::Instant;
 
@@ -156,6 +162,10 @@ impl BufferRecord {
 pub struct StreamStats {
     /// Vertices streamed.
     pub vertices: usize,
+    /// Out-edges carried by the streamed vertices — the work the score
+    /// loop actually touches, and the unit the hot-path throughput gate
+    /// watches (edges/s).
+    pub edges: u64,
     /// Synchronization windows executed (0 on a sequential pass).
     pub buffers: usize,
     /// Total wall time.
@@ -176,6 +186,16 @@ impl StreamStats {
         }
     }
 
+    /// Streaming throughput in edges per second — the headline hot-path
+    /// metric (the score loop's cost scales with edges, not vertices).
+    pub fn edges_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.edges as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
     /// Fraction of wall time spent in synchronization barriers. Clamped to
     /// non-negative so clock jitter on near-zero runs cannot surface as a
     /// (cosmetic) negative zero.
@@ -190,6 +210,7 @@ impl StreamStats {
     /// Folds another pass (or layer) into this aggregate.
     pub fn merge(&mut self, other: &StreamStats) {
         self.vertices += other.vertices;
+        self.edges += other.edges;
         self.buffers += other.buffers;
         self.secs += other.secs;
         self.sync_secs += other.sync_secs;
@@ -226,94 +247,148 @@ pub(crate) fn fennel_alpha(n: usize, m: u64, k: usize, gamma: f64) -> Result<f64
     Ok(m as f64 * (k as f64).powf(gamma - 1.0) / (n as f64).powf(gamma))
 }
 
-/// Lazy min-tracker over part weights (push on update, pop stale entries on
-/// query). Weights are non-negative, so their IEEE bit patterns order
-/// identically to their values.
-struct MinWeight {
-    heap: BinaryHeap<Reverse<(u64, PartId)>>,
+/// Flat per-partition balance state: the weights `W_i` and their cached
+/// penalties `α·γ·W_i^(γ−1)` laid out in two contiguous `f64` arrays sized
+/// to `k`. The penalty is a pure function of the weight, so it is refreshed
+/// once per weight *update* (one or two per streamed vertex) rather than
+/// recomputed per candidate per vertex — the scoring loop itself never
+/// calls `powf`. Both arrays are scanned whole by linear reductions
+/// ([`min_part`](FlatParts::min_part), [`FlatScorer::choose`]) that the
+/// compiler can unroll and vectorize.
+pub(crate) struct FlatParts {
+    weights: Vec<f64>,
+    penalties: Vec<f64>,
 }
 
-impl MinWeight {
-    fn new(weights: &[f64]) -> Self {
-        let heap = weights
-            .iter()
-            .enumerate()
-            .map(|(p, &w)| Reverse((w.to_bits(), p as PartId)))
-            .collect();
-        MinWeight { heap }
+impl FlatParts {
+    fn new(weights: Vec<f64>, scorer: &FlatScorer) -> Self {
+        let penalties = weights.iter().map(|&w| scorer.penalty(w)).collect();
+        FlatParts { weights, penalties }
     }
 
-    fn push(&mut self, part: PartId, weight: f64) {
-        self.heap.push(Reverse((weight.to_bits(), part)));
+    fn len(&self) -> usize {
+        self.weights.len()
     }
 
-    /// Part with the (currently) smallest weight.
-    fn min_part(&mut self, weights: &[f64]) -> PartId {
-        while let Some(&Reverse((bits, p))) = self.heap.peek() {
-            if weights[p as usize].to_bits() == bits {
-                return p;
+    #[inline]
+    fn weight(&self, p: PartId) -> f64 {
+        self.weights[p as usize]
+    }
+
+    /// Sets one part's weight and refreshes its cached penalty.
+    #[inline]
+    fn set(&mut self, p: PartId, w: f64, scorer: &FlatScorer) {
+        self.weights[p as usize] = w;
+        self.penalties[p as usize] = scorer.penalty(w);
+    }
+
+    /// Adds an assignment's `delta` to one part.
+    #[inline]
+    fn add(&mut self, p: PartId, delta: f64, scorer: &FlatScorer) {
+        self.set(p, self.weights[p as usize] + delta, scorer);
+    }
+
+    /// Removes a restreamed vertex's `delta`, clamped at zero: accumulated
+    /// rounding error must not leave a drained part slightly negative — a
+    /// negative weight would NaN-poison the balance penalty via `powf`.
+    #[inline]
+    fn remove(&mut self, p: PartId, delta: f64, scorer: &FlatScorer) {
+        self.set(p, (self.weights[p as usize] - delta).max(0.0), scorer);
+    }
+
+    /// Overwrites this state with a snapshot of another of the same `k`
+    /// (reusable-scratch copy — no allocation).
+    fn copy_from(&mut self, other: &FlatParts) {
+        self.weights.copy_from_slice(&other.weights);
+        self.penalties.copy_from_slice(&other.penalties);
+    }
+
+    /// Argmin over the flat weight array: the globally lightest part, with
+    /// the smallest id winning ties (the order the lazy min-heap this
+    /// replaces used to produce).
+    #[inline]
+    fn min_part(&self) -> PartId {
+        let mut best = 0usize;
+        let mut best_w = self.weights[0];
+        for (p, &w) in self.weights.iter().enumerate().skip(1) {
+            if w < best_w {
+                best = p;
+                best_w = w;
             }
-            self.heap.pop();
         }
-        unreachable!("heap always holds one live entry per part");
+        best as PartId
     }
 }
 
-/// The Fennel objective evaluated over candidate parts. Shared by the
-/// sequential pass, the buffered workers, and the commit-barrier repair so
-/// every mode applies identical scoring and tie-breaking (higher score,
-/// then lighter part, then smaller part id).
-struct Scorer {
-    alpha: f64,
-    gamma: f64,
+/// The Fennel objective evaluated as one flat pass over all `k` parts.
+/// Shared by the sequential pass, the buffered workers, and the
+/// commit-barrier repair so every mode applies identical scoring and
+/// tie-breaking (higher score, then lighter part, then smaller part id).
+///
+/// Exactness: scoring every part is equivalent to the scalar scorer's
+/// "neighbor parts + lightest part" candidate set. A part with no
+/// neighbors of `v` scores the pure penalty `−α·γ·W^(γ−1)`; for `γ ≥ 1`
+/// and `α ≥ 0` that is maximized at the minimum weight, and the
+/// (weight, id) tie-break then selects exactly the part the lazy heap
+/// would have nominated. Score arithmetic is kept bit-for-bit identical
+/// to the scalar form (`(α·γ)·W^(γ−1)` — `a*b*c` associates left), so the
+/// flat pass reproduces the [`oracle`] choice exactly; the differential
+/// proptests below hold the two to byte equality.
+pub(crate) struct FlatScorer {
+    /// Fused penalty coefficient `α·γ`.
+    coef: f64,
+    /// Penalty exponent `γ−1`.
+    exponent: f64,
     capacity: f64,
 }
 
-impl Scorer {
-    fn consider(
-        &self,
-        p: PartId,
-        nbr: u32,
-        weights: &[f64],
-        min_part: PartId,
-        best: &mut Option<(f64, f64, PartId)>,
-    ) {
-        let w = weights[p as usize];
-        if w >= self.capacity && p != min_part {
-            return;
-        }
-        let score = nbr as f64 - self.alpha * self.gamma * w.powf(self.gamma - 1.0);
-        let better = match *best {
-            None => true,
-            Some((bs, bw, bp)) => score > bs || (score == bs && (w < bw || (w == bw && p < bp))),
-        };
-        if better {
-            *best = Some((score, w, p));
+impl FlatScorer {
+    fn new(config: &StreamConfig<'_>) -> Self {
+        FlatScorer {
+            coef: config.alpha * config.gamma,
+            exponent: config.gamma - 1.0,
+            capacity: config.capacity,
         }
     }
 
-    /// Picks the winning part among the touched neighbor parts plus the
-    /// current minimum-weight part.
-    fn choose(
-        &self,
-        touched: &[PartId],
-        nbr_counts: &[u32],
-        weights: &[f64],
-        min_part: PartId,
-    ) -> PartId {
-        let mut best: Option<(f64, f64, PartId)> = None; // (score, weight, part)
-        for &p in touched {
-            self.consider(p, nbr_counts[p as usize], weights, min_part, &mut best);
+    /// Balance penalty of one part at weight `w`.
+    #[inline]
+    fn penalty(&self, w: f64) -> f64 {
+        self.coef * w.powf(self.exponent)
+    }
+
+    /// Picks the winning part: one branch-predictable pass over the flat
+    /// neighbor counts and cached penalties. Parts at capacity are masked
+    /// to `−∞` unless they are the lightest part, which always remains a
+    /// legal target — the same rule the scalar scorer applied per branch.
+    fn choose(&self, nbr_counts: &[u32], parts: &FlatParts, min_part: PartId) -> PartId {
+        debug_assert_eq!(nbr_counts.len(), parts.len());
+        let mut best_p: PartId = 0;
+        let mut best_s = f64::NEG_INFINITY;
+        let mut best_w = f64::INFINITY;
+        for (p, ((&nbr, &w), &pen)) in nbr_counts
+            .iter()
+            .zip(&parts.weights)
+            .zip(&parts.penalties)
+            .enumerate()
+        {
+            let p = p as PartId;
+            let open = w < self.capacity || p == min_part;
+            let score = if open {
+                nbr as f64 - pen
+            } else {
+                f64::NEG_INFINITY
+            };
+            // Ids ascend with the loop, so on a full (score, weight) tie
+            // the earlier — smaller — id is kept, completing the scalar
+            // scorer's three-level tie-break.
+            if score > best_s || (score == best_s && w < best_w) {
+                best_s = score;
+                best_w = w;
+                best_p = p;
+            }
         }
-        self.consider(
-            min_part,
-            nbr_counts[min_part as usize],
-            weights,
-            min_part,
-            &mut best,
-        );
-        let (_, _, part) = best.expect("at least the min-weight part is considered");
-        part
+        best_p
     }
 }
 
@@ -361,6 +436,7 @@ pub(crate) fn stream_assign(
 ) -> StreamOutcome {
     use std::sync::OnceLock;
     static VERTICES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
+    static EDGES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
     static PASS_NS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
     static SYNC_NS: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
     static PASSES: OnceLock<&'static bpart_obs::metrics::Counter> = OnceLock::new();
@@ -378,6 +454,11 @@ pub(crate) fn stream_assign(
         buffered::stream_assign_buffered(graph, config, &weight_delta)
     };
     outcome.stats.vertices = config.order.len();
+    outcome.stats.edges = config
+        .order
+        .iter()
+        .map(|&v| graph.out_degree(v) as u64)
+        .sum();
     outcome.stats.threads = config.parallel.threads.max(1);
     outcome.stats.buffers = outcome.buffers.len();
     outcome.stats.secs = start.elapsed().as_secs_f64();
@@ -388,6 +469,9 @@ pub(crate) fn stream_assign(
     VERTICES
         .get_or_init(|| bpart_obs::metrics::counter("stream.vertices"))
         .add(outcome.stats.vertices as u64);
+    EDGES
+        .get_or_init(|| bpart_obs::metrics::counter("stream.edges"))
+        .add(outcome.stats.edges);
     PASS_NS
         .get_or_init(|| bpart_obs::metrics::counter("stream.pass_ns"))
         .add((outcome.stats.secs * 1e9) as u64);
@@ -397,7 +481,8 @@ pub(crate) fn stream_assign(
     outcome
 }
 
-/// The exact sequential pass (historical behaviour, golden-test stable).
+/// The exact sequential pass (historical behaviour, golden-test stable),
+/// placing each vertex with the flat-array reductions of [`FlatScorer`].
 fn stream_assign_sequential(
     graph: &CsrGraph,
     config: &StreamConfig<'_>,
@@ -406,19 +491,19 @@ fn stream_assign_sequential(
     let k = config.num_parts;
     assert!(k > 0, "need at least one part");
 
-    let (mut assignment, mut vertex_counts, mut edge_counts, mut weights) =
+    let (mut assignment, mut vertex_counts, mut edge_counts, weights) =
         seed_state(graph, config, weight_delta);
-    let mut min_tracker = MinWeight::new(&weights);
-    let scorer = Scorer {
-        alpha: config.alpha,
-        gamma: config.gamma,
-        capacity: config.capacity,
-    };
+    let scorer = FlatScorer::new(config);
+    let mut parts = FlatParts::new(weights, &scorer);
 
-    // Scratch neighbor tallies with a touched-list so per-vertex reset cost
-    // is O(#neighbor parts), not O(k).
-    let mut nbr_counts = vec![0u32; k];
-    let mut touched: Vec<PartId> = Vec::new();
+    // Scratch neighbor tallies: one slot per part plus a trailing trash
+    // slot that absorbs unassigned neighbors ([`UNASSIGNED`] ≥ `k`, so
+    // `min(k)` routes it there). The per-neighbor tally is branchless —
+    // mid-stream the assigned/unassigned branch is a coin flip the
+    // predictor loses constantly — and the per-vertex reset is a `k+1`-word
+    // memset instead of touched-list bookkeeping.
+    let mut nbr_counts = vec![0u32; k + 1];
+    let trash = k;
 
     for &v in config.order {
         // Restreaming: take the vertex out of its old part before scoring.
@@ -428,39 +513,27 @@ fn stream_assign_sequential(
             assignment[v as usize] = UNASSIGNED;
             vertex_counts[old as usize] -= 1;
             edge_counts[old as usize] -= graph.out_degree(v) as u64;
-            // Clamp: accumulated rounding error must not leave a drained
-            // part slightly negative — a negative weight both breaks the
-            // bit-pattern ordering of MinWeight (sign bit sorts last, so
-            // the part silently drops out of min tracking) and turns the
-            // balance penalty into NaN via powf.
-            weights[old as usize] = (weights[old as usize] - weight_delta(v)).max(0.0);
-            min_tracker.push(old, weights[old as usize]);
+            parts.remove(old, weight_delta(v), &scorer);
         }
 
-        // Tally already-placed neighbors per part (undirected neighborhood).
-        for &w in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
-            let p = assignment[w as usize];
-            if p != UNASSIGNED {
-                if nbr_counts[p as usize] == 0 {
-                    touched.push(p);
-                }
-                nbr_counts[p as usize] += 1;
-            }
+        // Tally already-placed neighbors per part (undirected neighborhood;
+        // the two directions as separate slice loops so each vectorizes).
+        for &w in graph.out_neighbors(v) {
+            let p = assignment[w as usize] as usize;
+            nbr_counts[p.min(trash)] += 1;
+        }
+        for &w in graph.in_neighbors(v) {
+            let p = assignment[w as usize] as usize;
+            nbr_counts[p.min(trash)] += 1;
         }
 
-        // Candidates: neighbor parts plus the globally lightest part.
-        let min_part = min_tracker.min_part(&weights);
-        let part = scorer.choose(&touched, &nbr_counts, &weights, min_part);
+        let part = scorer.choose(&nbr_counts[..k], &parts, parts.min_part());
         assignment[v as usize] = part;
         vertex_counts[part as usize] += 1;
         edge_counts[part as usize] += graph.out_degree(v) as u64;
-        weights[part as usize] += weight_delta(v);
-        min_tracker.push(part, weights[part as usize]);
+        parts.add(part, weight_delta(v), &scorer);
 
-        for &p in &touched {
-            nbr_counts[p as usize] = 0;
-        }
-        touched.clear();
+        nbr_counts.fill(0);
     }
 
     StreamOutcome {
@@ -469,6 +542,167 @@ fn stream_assign_sequential(
         edge_counts,
         buffers: Vec::new(),
         stats: StreamStats::default(),
+    }
+}
+
+/// The pre-flat scalar implementation, retained verbatim as the
+/// differential-test oracle: a lazy min-heap nominates the lightest part
+/// and only "neighbor parts + min part" are scored, with `powf` evaluated
+/// per candidate. The flat path must reproduce its choices bit for bit.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Lazy min-tracker over part weights (push on update, pop stale
+    /// entries on query). Weights are non-negative, so their IEEE bit
+    /// patterns order identically to their values.
+    struct MinWeight {
+        heap: BinaryHeap<Reverse<(u64, PartId)>>,
+    }
+
+    impl MinWeight {
+        fn new(weights: &[f64]) -> Self {
+            let heap = weights
+                .iter()
+                .enumerate()
+                .map(|(p, &w)| Reverse((w.to_bits(), p as PartId)))
+                .collect();
+            MinWeight { heap }
+        }
+
+        fn push(&mut self, part: PartId, weight: f64) {
+            self.heap.push(Reverse((weight.to_bits(), part)));
+        }
+
+        fn min_part(&mut self, weights: &[f64]) -> PartId {
+            while let Some(&Reverse((bits, p))) = self.heap.peek() {
+                if weights[p as usize].to_bits() == bits {
+                    return p;
+                }
+                self.heap.pop();
+            }
+            unreachable!("heap always holds one live entry per part");
+        }
+    }
+
+    struct Scorer {
+        alpha: f64,
+        gamma: f64,
+        capacity: f64,
+    }
+
+    impl Scorer {
+        fn consider(
+            &self,
+            p: PartId,
+            nbr: u32,
+            weights: &[f64],
+            min_part: PartId,
+            best: &mut Option<(f64, f64, PartId)>,
+        ) {
+            let w = weights[p as usize];
+            if w >= self.capacity && p != min_part {
+                return;
+            }
+            let score = nbr as f64 - self.alpha * self.gamma * w.powf(self.gamma - 1.0);
+            let better = match *best {
+                None => true,
+                Some((bs, bw, bp)) => {
+                    score > bs || (score == bs && (w < bw || (w == bw && p < bp)))
+                }
+            };
+            if better {
+                *best = Some((score, w, p));
+            }
+        }
+
+        fn choose(
+            &self,
+            touched: &[PartId],
+            nbr_counts: &[u32],
+            weights: &[f64],
+            min_part: PartId,
+        ) -> PartId {
+            let mut best: Option<(f64, f64, PartId)> = None; // (score, weight, part)
+            for &p in touched {
+                self.consider(p, nbr_counts[p as usize], weights, min_part, &mut best);
+            }
+            self.consider(
+                min_part,
+                nbr_counts[min_part as usize],
+                weights,
+                min_part,
+                &mut best,
+            );
+            let (_, _, part) = best.expect("at least the min-weight part is considered");
+            part
+        }
+    }
+
+    /// The historical sequential pass, byte-for-byte the pre-flat logic.
+    pub(crate) fn stream_sequential(
+        graph: &CsrGraph,
+        config: &StreamConfig<'_>,
+        weight_delta: &(impl Fn(VertexId) -> f64 + Sync),
+    ) -> StreamOutcome {
+        let k = config.num_parts;
+        assert!(k > 0, "need at least one part");
+
+        let (mut assignment, mut vertex_counts, mut edge_counts, mut weights) =
+            seed_state(graph, config, weight_delta);
+        let mut min_tracker = MinWeight::new(&weights);
+        let scorer = Scorer {
+            alpha: config.alpha,
+            gamma: config.gamma,
+            capacity: config.capacity,
+        };
+
+        let mut nbr_counts = vec![0u32; k];
+        let mut touched: Vec<PartId> = Vec::new();
+
+        for &v in config.order {
+            let old = assignment[v as usize];
+            if old != UNASSIGNED {
+                assignment[v as usize] = UNASSIGNED;
+                vertex_counts[old as usize] -= 1;
+                edge_counts[old as usize] -= graph.out_degree(v) as u64;
+                weights[old as usize] = (weights[old as usize] - weight_delta(v)).max(0.0);
+                min_tracker.push(old, weights[old as usize]);
+            }
+
+            for &w in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+                let p = assignment[w as usize];
+                if p != UNASSIGNED {
+                    if nbr_counts[p as usize] == 0 {
+                        touched.push(p);
+                    }
+                    nbr_counts[p as usize] += 1;
+                }
+            }
+
+            let min_part = min_tracker.min_part(&weights);
+            let part = scorer.choose(&touched, &nbr_counts, &weights, min_part);
+            assignment[v as usize] = part;
+            vertex_counts[part as usize] += 1;
+            edge_counts[part as usize] += graph.out_degree(v) as u64;
+            weights[part as usize] += weight_delta(v);
+            min_tracker.push(part, weights[part as usize]);
+
+            for &p in &touched {
+                nbr_counts[p as usize] = 0;
+            }
+            touched.clear();
+        }
+
+        StreamOutcome {
+            assignment,
+            vertex_counts,
+            edge_counts,
+            buffers: Vec::new(),
+            stats: StreamStats::default(),
+        }
     }
 }
 
@@ -640,6 +874,7 @@ mod tests {
         let g = generate::erdos_renyi(200, 1_000, 3);
         let out = run_fennel_like(&g, 4);
         assert_eq!(out.stats.vertices, 200);
+        assert_eq!(out.stats.edges, 1_000);
         assert_eq!(out.stats.threads, 1);
         assert_eq!(out.stats.buffers, 0);
         assert!(out.buffers.is_empty());
@@ -647,10 +882,90 @@ mod tests {
         assert_eq!(out.stats.sync_secs, 0.0);
     }
 
+    mod differential {
+        use super::super::*;
+        use bpart_graph::generate;
+        use proptest::prelude::*;
+
+        fn assert_outcomes_match(flat: &StreamOutcome, scalar: &StreamOutcome) {
+            assert_eq!(flat.assignment, scalar.assignment);
+            assert_eq!(flat.vertex_counts, scalar.vertex_counts);
+            assert_eq!(flat.edge_counts, scalar.edge_counts);
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The flat-array scorer is bit-identical to the scalar oracle
+            /// across random graphs, part counts, and α/γ settings —
+            /// including a restream round over the committed assignment.
+            #[test]
+            fn flat_scorer_matches_scalar_oracle(
+                seed in 0u64..10_000,
+                k in 1usize..12,
+                gamma in 1.0f64..2.5,
+                alpha_scale in 0.1f64..8.0,
+                load in 1.02f64..1.4,
+            ) {
+                let g = generate::erdos_renyi(120, 900, seed);
+                let order: Vec<VertexId> = g.vertices().collect();
+                let alpha = fennel_alpha(120, 900, k, gamma).unwrap() * alpha_scale;
+                let config = StreamConfig {
+                    num_parts: k,
+                    gamma,
+                    alpha,
+                    capacity: load * 120.0 / k as f64,
+                    order: &order,
+                    previous: None,
+                    parallel: ParallelConfig::default(),
+                };
+                let flat = stream_assign_sequential(&g, &config, &|_| 1.0);
+                let scalar = oracle::stream_sequential(&g, &config, &|_| 1.0);
+                assert_outcomes_match(&flat, &scalar);
+
+                let again = StreamConfig {
+                    previous: Some(&flat.assignment),
+                    ..config
+                };
+                let flat2 = stream_assign_sequential(&g, &again, &|_| 1.0);
+                let scalar2 = oracle::stream_sequential(&g, &again, &|_| 1.0);
+                assert_outcomes_match(&flat2, &scalar2);
+            }
+
+            /// Same differential contract under BPart's two-dimensional
+            /// weight delta (fractional, degree-dependent weights).
+            #[test]
+            fn flat_scorer_matches_oracle_with_weighted_delta(
+                seed in 0u64..10_000,
+                k in 2usize..10,
+                gamma in 1.0f64..2.0,
+                c in 0.1f64..0.9,
+            ) {
+                let g = generate::erdos_renyi(150, 1_200, seed);
+                let d_bar = g.average_degree();
+                let order: Vec<VertexId> = g.vertices().collect();
+                let config = StreamConfig {
+                    num_parts: k,
+                    gamma,
+                    alpha: fennel_alpha(150, 1_200, k, gamma).unwrap(),
+                    capacity: 1.1 * 150.0 / k as f64,
+                    order: &order,
+                    previous: None,
+                    parallel: ParallelConfig::default(),
+                };
+                let delta = |v: VertexId| c + (1.0 - c) * g.out_degree(v) as f64 / d_bar;
+                let flat = stream_assign_sequential(&g, &config, &delta);
+                let scalar = oracle::stream_sequential(&g, &config, &delta);
+                assert_outcomes_match(&flat, &scalar);
+            }
+        }
+    }
+
     #[test]
     fn stream_stats_merge_accumulates() {
         let mut a = StreamStats {
             vertices: 100,
+            edges: 600,
             buffers: 2,
             secs: 1.0,
             sync_secs: 0.25,
@@ -658,6 +973,7 @@ mod tests {
         };
         let b = StreamStats {
             vertices: 50,
+            edges: 300,
             buffers: 1,
             secs: 0.5,
             sync_secs: 0.25,
@@ -665,9 +981,11 @@ mod tests {
         };
         a.merge(&b);
         assert_eq!(a.vertices, 150);
+        assert_eq!(a.edges, 900);
         assert_eq!(a.buffers, 3);
         assert_eq!(a.threads, 4);
         assert!((a.vertices_per_sec() - 100.0).abs() < 1e-9);
+        assert!((a.edges_per_sec() - 600.0).abs() < 1e-9);
         assert!((a.sync_stall_ratio() - (0.5 / 1.5)).abs() < 1e-9);
     }
 }

@@ -13,8 +13,8 @@ use crate::program::{ProgramContext, VertexProgram};
 use bpart_cluster::exec::{collect_results, for_each_machine, ExecMode};
 use bpart_cluster::MachineId;
 use bpart_cluster::{
-    Cluster, CostModel, FaultPlan, FaultState, IterationRecord, MachineFailure, Router, Telemetry,
-    UnrecoverableFailure, WorkUnits,
+    Cluster, CostModel, Exchange, FaultPlan, FaultState, IterationRecord, MachineFailure,
+    MessageArena, Router, Telemetry, UnrecoverableFailure, WorkUnits,
 };
 use bpart_core::Partition;
 use bpart_graph::{CsrGraph, VertexId};
@@ -60,6 +60,10 @@ pub struct IterationEngine {
     checkpoint_every: Option<usize>,
 }
 
+/// Per-machine outbox rows as taken from the arena: `rows[to]` holds the
+/// combined updates staged for machine `to`.
+type OutboxRows<A> = Vec<Vec<(VertexId, A)>>;
+
 /// Per-machine mutable state across iterations.
 struct MachineState<V, A> {
     /// Local vertex values (indexed by local index).
@@ -70,6 +74,8 @@ struct MachineState<V, A> {
     acc: Vec<Option<A>>,
     /// Targets touched in `acc` this phase.
     touched: Vec<VertexId>,
+    /// Arena-staged combined updates (reset between supersteps).
+    outbox: MessageArena<(VertexId, A)>,
 }
 
 /// A globally consistent snapshot taken at a superstep boundary.
@@ -95,6 +101,7 @@ fn rollback<V: Clone, A>(states: &mut [MachineState<V, A>], checkpoint: &Checkpo
             s.acc[v as usize] = None;
         }
         s.touched.clear();
+        s.outbox.reset();
         s.values.clone_from(values);
         s.active.clone_from(active);
     }
@@ -194,6 +201,7 @@ impl IterationEngine {
                         .collect(),
                     acc: vec![None; n],
                     touched: Vec::new(),
+                    outbox: MessageArena::new(k),
                 }
             })
             .collect();
@@ -251,6 +259,14 @@ impl IterationEngine {
         let progress_gauge =
             PROGRESS.get_or_init(|| bpart_obs::metrics::gauge("cluster.progress_superstep"));
 
+        // Persistent messaging buffers: the router, the exchange, and the
+        // holder for self-addressed (machine-local) updates all keep their
+        // high-water capacity across supersteps, complementing the
+        // per-machine arenas in `MachineState`.
+        let mut router: Router<(VertexId, P::Accum)> = Router::new(k);
+        let mut ex: Exchange<(VertexId, P::Accum)> = Exchange::default();
+        let mut local_rows: Vec<Vec<(VertexId, P::Accum)>> = (0..k).map(|_| Vec::new()).collect();
+
         loop {
             if let Some(max) = program.max_iterations() {
                 if superstep >= max {
@@ -281,9 +297,10 @@ impl IterationEngine {
 
             // ---- scatter phase -------------------------------------------------
             let cluster = &self.cluster;
-            type ScatterOut<A> = (Vec<Vec<(VertexId, A)>>, Vec<u64>, WorkUnits, bool);
+            type ScatterOut = (Vec<u64>, WorkUnits, bool);
             let scatter_results = for_each_machine(self.mode, &mut states, |m, s| {
                 let mut work = WorkUnits::default();
+                debug_assert_eq!(s.outbox.staged(), 0);
                 let members = cluster.local_vertices(m);
                 let mut any_active = false;
                 // Raw (uncombined) cross-machine updates per destination:
@@ -321,21 +338,20 @@ impl IterationEngine {
                         }
                     }
                 }
-                // Drain the dense accumulator into per-destination
-                // combined messages (sender-side combining).
+                // Drain the dense accumulator into the machine's arena as
+                // per-destination combined messages (sender-side
+                // combining); the arena buffers persist across supersteps.
                 s.touched.sort_unstable();
-                let mut outbox: Vec<Vec<(VertexId, P::Accum)>> =
-                    (0..cluster.num_machines()).map(|_| Vec::new()).collect();
                 for &v in &s.touched {
                     let acc = s.acc[v as usize]
                         .take()
                         .expect("touched implies accumulated");
-                    outbox[cluster.owner(v) as usize].push((v, acc));
+                    s.outbox.push(cluster.owner(v), (v, acc));
                 }
                 s.touched.clear();
-                (outbox, raw, work, any_active)
+                (raw, work, any_active)
             });
-            let scatter_out: Vec<ScatterOut<P::Accum>> = match collect_results(scatter_results) {
+            let scatter_out: Vec<ScatterOut> = match collect_results(scatter_results) {
                 Ok(out) => out,
                 Err((machine, failure)) => {
                     recover_or_bail!(machine, failure, vec![0.0; k], replaying)
@@ -344,12 +360,12 @@ impl IterationEngine {
 
             let mut compute: Vec<f64> = scatter_out
                 .iter()
-                .map(|(_, _, w, _)| self.cost.compute_time(w))
+                .map(|(_, w, _)| self.cost.compute_time(w))
                 .collect();
             // Raw update totals per machine (sent / received).
             let mut raw_sent = vec![0u64; k];
             let mut raw_received = vec![0u64; k];
-            for (from, (_, raw, _, _)) in scatter_out.iter().enumerate() {
+            for (from, (raw, _, _)) in scatter_out.iter().enumerate() {
                 for (to, &count) in raw.iter().enumerate() {
                     raw_sent[from] += count;
                     raw_received[to] += count;
@@ -384,24 +400,17 @@ impl IterationEngine {
             }
 
             // ---- exchange ------------------------------------------------------
-            let mut router: Router<(VertexId, P::Accum)> = Router::new(k);
-            router.put_rows(
-                scatter_out
-                    .into_iter()
-                    .map(|(rows, _, _, _)| rows)
-                    .collect(),
-            );
+            let mut rows: Vec<OutboxRows<P::Accum>> =
+                states.iter_mut().map(|s| s.outbox.take_filled()).collect();
             // Self-addressed updates stay machine-local: they are not
-            // network messages. Pull them out before counting.
-            let rows = router.take_rows();
-            let mut cleaned = Vec::with_capacity(k);
-            let mut local_rows: Vec<Vec<(VertexId, P::Accum)>> = Vec::with_capacity(k);
-            for (m, mut row) in rows.into_iter().enumerate() {
-                let own = std::mem::take(&mut row[m]);
-                local_rows.push(own);
-                cleaned.push(row);
+            // network messages. Swap them into the persistent local-row
+            // holder before counting (the swapped-in buffer is last
+            // round's drained holder, so no capacity is lost either way).
+            for (m, row) in rows.iter_mut().enumerate() {
+                debug_assert!(local_rows[m].is_empty());
+                std::mem::swap(&mut row[m], &mut local_rows[m]);
             }
-            router.put_rows(cleaned);
+            router.put_rows(rows);
 
             // Link faults act on the wire payload (the combined messages
             // actually staged): drops cost the sender a retransmission,
@@ -431,11 +440,16 @@ impl IterationEngine {
             }
 
             // Deliver local updates by re-staging them post-exchange.
-            let mut ex = router.exchange();
-            for (m, own) in local_rows.into_iter().enumerate() {
+            router.exchange_into(&mut ex);
+            for (m, own) in local_rows.iter_mut().enumerate() {
                 // Local messages are applied with the same mechanism but
-                // cost nothing on the network.
-                ex.inboxes[m].extend(own);
+                // cost nothing on the network. `append` drains the holder
+                // for the next superstep, keeping its capacity.
+                ex.inboxes[m].append(own);
+            }
+            // Hand the drained rows back to their arenas for reuse.
+            for (s, row) in states.iter_mut().zip(router.take_rows()) {
+                s.outbox.put_drained(row);
             }
 
             // ---- apply phase ----------------------------------------------
@@ -444,18 +458,16 @@ impl IterationEngine {
                 num_vertices: n,
                 aggregate,
             };
-            let inboxes = std::mem::take(&mut ex.inboxes);
-            let mut inbox_iter = inboxes.into_iter();
             let mut any_active_next = false;
             // Sequential over machines for inbox handoff; the per-machine
             // apply loops are the heavy part and stay identical in both
-            // exec modes.
+            // exec modes. Inboxes are drained (not consumed) so the
+            // exchange buffers carry their capacity into the next round.
             let apply_results: Vec<(WorkUnits, bool)> = {
                 let mut results = Vec::with_capacity(k);
                 for (m, s) in states.iter_mut().enumerate() {
-                    let inbox = inbox_iter.next().expect("one inbox per machine");
                     // Merge all incoming signals into the dense accumulator.
-                    for (v, a) in inbox {
+                    for (v, a) in ex.inboxes[m].drain(..) {
                         accumulate::<P>(program, s, v, a);
                     }
                     let mut work = WorkUnits::default();

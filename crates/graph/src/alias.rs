@@ -86,12 +86,33 @@ impl AliasTable {
     /// Draws one outcome index.
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
-        let i = rng.random_range(0..self.prob.len());
-        if rng.random::<f64>() < self.prob[i] {
-            i as u32
-        } else {
-            self.alias[i]
-        }
+        sample_slices(&self.prob, &self.alias, rng)
+    }
+
+    /// The keep-probability column (scaled to [0, 1]).
+    pub fn probs(&self) -> &[f64] {
+        &self.prob
+    }
+
+    /// The alias column.
+    pub fn aliases(&self) -> &[u32] {
+        &self.alias
+    }
+}
+
+/// Draws one outcome from a decomposed alias table (`prob`/`alias` columns).
+///
+/// This is the single sampling routine: [`AliasTable::sample`] delegates
+/// here, so callers that keep table columns in their own (bucketed, arena)
+/// storage consume the RNG in exactly the same order and produce the same
+/// outcome stream as a freshly built [`AliasTable`].
+#[inline]
+pub fn sample_slices<R: Rng + ?Sized>(prob: &[f64], alias: &[u32], rng: &mut R) -> u32 {
+    let i = rng.random_range(0..prob.len());
+    if rng.random::<f64>() < prob[i] {
+        i as u32
+    } else {
+        alias[i]
     }
 }
 

@@ -44,6 +44,53 @@ impl CsrGraph {
         }
     }
 
+    /// Builds a graph directly from already-valid CSR arrays, deriving the
+    /// in-adjacency with a single counting-sort pass — the fast path the
+    /// binary loader takes after validating a file's bytes, skipping the
+    /// edge-list materialization and re-sort [`from_edges`] would do.
+    ///
+    /// Callers must have established exactly the invariants `from_edges`
+    /// produces: `offsets` monotone with `offsets[0] == 0` and
+    /// `offsets[n] == targets.len()`, every target `< n`, and every
+    /// adjacency list sorted ascending. Debug builds re-check.
+    pub(crate) fn from_sorted_csr(offsets: Vec<u64>, targets: Vec<VertexId>) -> Self {
+        let n = offsets.len() - 1;
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert_eq!(offsets.last(), Some(&(targets.len() as u64)));
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(targets.iter().all(|&t| (t as usize) < n));
+        debug_assert!(
+            (0..n).all(|v| targets[offsets[v] as usize..offsets[v + 1] as usize]
+                .windows(2)
+                .all(|w| w[0] <= w[1]))
+        );
+        // Transpose by counting sort. Scanning sources in ascending order
+        // appends each in-list's sources in ascending order, so the
+        // in-lists come out sorted without a per-list sort.
+        let mut in_offsets = vec![0u64; n + 1];
+        for &t in &targets {
+            in_offsets[t as usize + 1] += 1;
+        }
+        for v in 0..n {
+            in_offsets[v + 1] += in_offsets[v];
+        }
+        let mut cursor = in_offsets[..n].to_vec();
+        let mut in_targets = vec![0 as VertexId; targets.len()];
+        for u in 0..n {
+            for &t in &targets[offsets[u] as usize..offsets[u + 1] as usize] {
+                let c = &mut cursor[t as usize];
+                in_targets[*c as usize] = u as VertexId;
+                *c += 1;
+            }
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+
     /// Counting-sort pass shared by the forward and transposed adjacency.
     fn csr_of(
         num_vertices: usize,
@@ -289,5 +336,20 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn from_sorted_csr_matches_from_edges() {
+        let g = crate::generate::erdos_renyi(200, 1_500, 42);
+        let fast = CsrGraph::from_sorted_csr(g.raw_offsets().to_vec(), g.raw_targets().to_vec());
+        assert_eq!(fast, g);
+    }
+
+    #[test]
+    fn from_sorted_csr_keeps_duplicate_edges() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 1), (2, 1)]);
+        let fast = CsrGraph::from_sorted_csr(g.raw_offsets().to_vec(), g.raw_targets().to_vec());
+        assert_eq!(fast, g);
+        assert_eq!(fast.in_neighbors(1), &[0, 0, 2]);
     }
 }

@@ -15,20 +15,18 @@
 //! derivable and the rebuild is a linear counting sort.
 
 use crate::{CsrGraph, Edge, GraphError, VertexId};
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Read, Write};
 
 const MAGIC: [u8; 4] = *b"BPGR";
 const VERSION: u32 = 1;
+
+/// Bytes before the offsets array: magic + version + n + m.
+const HEADER_LEN: usize = 4 + 4 + 8 + 8;
 
 /// Vertex ids are `u32`, so any valid file has `n <= u32::MAX`; a larger
 /// count is corrupt (and would otherwise drive a multi-gigabyte
 /// allocation before the first offset is even read).
 const MAX_VERTICES: u64 = u32::MAX as u64;
-
-/// Untrusted header counts reserve at most this many elements up front;
-/// larger arrays grow as data actually arrives, so a corrupt count on a
-/// short file fails with a clean read error instead of an OOM abort.
-const MAX_PREALLOC: usize = 1 << 20;
 
 /// Serializes a graph to the binary CSR format.
 pub fn write_binary<W: Write>(graph: &CsrGraph, writer: W) -> Result<(), GraphError> {
@@ -49,50 +47,99 @@ pub fn write_binary<W: Write>(graph: &CsrGraph, writer: W) -> Result<(), GraphEr
 
 /// Deserializes a graph from the binary CSR format, validating the header
 /// and the offset invariants.
-pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
-    let mut br = BufReader::new(reader);
-    let mut magic = [0u8; 4];
-    br.read_exact(&mut magic)?;
+///
+/// Owned-read convenience: slurps the stream and delegates to
+/// [`read_binary_bytes`]. When the source is a file, prefer
+/// [`load_binary`](super::load_binary), which memory-maps it instead of
+/// copying it through a `Vec`.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    read_binary_bytes(&bytes)
+}
+
+/// Deserializes a graph from an in-memory byte view of the binary CSR
+/// format — the parser behind both [`read_binary`] and the mmap-backed
+/// [`load_binary`](super::load_binary).
+///
+/// Validation happens *before* any allocation: the header's declared
+/// counts are checked against `bytes.len()`, so a corrupt or truncated
+/// header fails with a clean format error instead of driving a huge
+/// pre-allocation. The offsets/targets regions are then bulk-decoded
+/// straight out of the view (`chunks_exact` + `from_le_bytes`, which the
+/// compiler lowers to wide copies on little-endian targets — no
+/// per-element reader calls, no intermediate buffers), and the
+/// in-adjacency is rebuilt with a single counting-sort pass. Trailing
+/// bytes after the arrays are ignored, matching the streaming reader's
+/// historical behaviour.
+pub fn read_binary_bytes(bytes: &[u8]) -> Result<CsrGraph, GraphError> {
+    // Field-by-field header checks, so a short buffer still reports the
+    // most specific problem (bad magic beats "truncated").
+    let truncated = || GraphError::Format("truncated header".into());
+    let magic = bytes.get(..4).ok_or_else(truncated)?;
     if magic != MAGIC {
         return Err(GraphError::Format(format!("bad magic {magic:?}")));
     }
-    let version = read_u32(&mut br)?;
+    let version = u32::from_le_bytes(bytes.get(4..8).ok_or_else(truncated)?.try_into().unwrap());
     if version != VERSION {
         return Err(GraphError::Format(format!("unsupported version {version}")));
     }
-    let n64 = read_u64(&mut br)?;
+    let header = bytes.get(..HEADER_LEN).ok_or_else(truncated)?;
+    let n64 = u64::from_le_bytes(header[8..16].try_into().unwrap());
     if n64 > MAX_VERTICES {
         return Err(GraphError::Format(format!(
             "vertex count {n64} exceeds the u32 id space"
         )));
     }
     let n = n64 as usize;
-    let m = read_u64(&mut br)? as usize;
-
-    let mut offsets = Vec::with_capacity((n + 1).min(MAX_PREALLOC));
-    for _ in 0..=n {
-        offsets.push(read_u64(&mut br)?);
+    let m64 = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let need = HEADER_LEN as u128 + (n as u128 + 1) * 8 + m64 as u128 * 4;
+    if (bytes.len() as u128) < need {
+        return Err(GraphError::Format(format!(
+            "file too short: {} bytes, header declares n = {n}, m = {m64}",
+            bytes.len()
+        )));
     }
+    let m = m64 as usize;
+
+    let offsets_end = HEADER_LEN + (n + 1) * 8;
+    let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
+    offsets.extend(
+        bytes[HEADER_LEN..offsets_end]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+    );
     if offsets.first() != Some(&0) || offsets.last() != Some(&(m as u64)) {
         return Err(GraphError::Format("offset array endpoints invalid".into()));
     }
-    for w in offsets.windows(2) {
-        if w[0] > w[1] {
-            return Err(GraphError::Format("offsets not monotone".into()));
-        }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphError::Format("offsets not monotone".into()));
     }
-    let mut targets: Vec<VertexId> = Vec::with_capacity(m.min(MAX_PREALLOC));
-    for _ in 0..m {
-        let t = read_u32(&mut br)?;
-        if t as usize >= n {
-            return Err(GraphError::Format(format!(
-                "target {t} out of range (n = {n})"
-            )));
-        }
-        targets.push(t);
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m);
+    targets.extend(
+        bytes[offsets_end..offsets_end + m * 4]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+    );
+    if let Some(&t) = targets.iter().find(|&&t| t as usize >= n) {
+        return Err(GraphError::Format(format!(
+            "target {t} out of range (n = {n})"
+        )));
     }
-    // Rebuild through the public constructor so the in-adjacency and the
-    // per-list sort invariants are re-established.
+
+    // Fast path for well-formed files (everything `write_binary` emits):
+    // adjacency lists arrive sorted, so the arrays can be adopted as-is
+    // and only the in-adjacency needs deriving.
+    let lists_sorted = (0..n).all(|v| {
+        targets[offsets[v] as usize..offsets[v + 1] as usize]
+            .windows(2)
+            .all(|w| w[0] <= w[1])
+    });
+    if lists_sorted {
+        return Ok(CsrGraph::from_sorted_csr(offsets, targets));
+    }
+    // Unsorted lists (a foreign writer): rebuild through the public
+    // constructor, which re-establishes the per-list sort invariant.
     let mut edges: Vec<Edge> = Vec::with_capacity(m);
     for v in 0..n {
         for &t in &targets[offsets[v] as usize..offsets[v + 1] as usize] {
@@ -100,18 +147,6 @@ pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
         }
     }
     Ok(CsrGraph::from_edges(n, &edges))
-}
-
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, GraphError> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
 }
 
 #[cfg(test)]
@@ -230,5 +265,74 @@ mod tests {
         buf[len - 4..].copy_from_slice(&100u32.to_le_bytes());
         let err = read_binary(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn unsorted_lists_take_the_rebuild_path() {
+        // A foreign writer may emit unsorted adjacency lists; the loader
+        // must still normalize them exactly like the old streaming reader
+        // (which rebuilt through `from_edges`).
+        let g = CsrGraph::from_edges(3, &[(0, 2), (0, 1), (1, 0)]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Swap vertex 0's two (sorted) targets so the list arrives as
+        // [2, 1].
+        let t0 = offset_pos(4); // targets start after offsets[0..=3]
+        let (a, b) = (t0, t0 + 4);
+        let first = u32::from_le_bytes(buf[a..a + 4].try_into().unwrap());
+        let second = u32::from_le_bytes(buf[b..b + 4].try_into().unwrap());
+        buf[a..a + 4].copy_from_slice(&second.to_le_bytes());
+        buf[b..b + 4].copy_from_slice(&first.to_le_bytes());
+        let reloaded = read_binary_bytes(&buf).unwrap();
+        assert_eq!(reloaded, g, "lists are re-sorted on load");
+    }
+
+    #[test]
+    fn trailing_bytes_are_ignored() {
+        let g = generate::erdos_renyi(50, 300, 3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.extend_from_slice(b"junk after the arrays");
+        assert_eq!(read_binary_bytes(&buf).unwrap(), g);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_load_matches_owned_read() {
+        let g = generate::twitter_like().generate_scaled(0.01);
+        let path = std::env::temp_dir().join(format!(
+            "bpart-binfmt-test-{}-roundtrip.bpgr",
+            std::process::id()
+        ));
+        write_binary(&g, std::fs::File::create(&path).unwrap()).unwrap();
+
+        let mapped = crate::io::load_binary(&path).unwrap();
+        let owned = read_binary(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(mapped, owned);
+        assert_eq!(mapped, g);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_load_rejects_corrupt_files() {
+        let g = generate::ring(6);
+        let path = std::env::temp_dir().join(format!(
+            "bpart-binfmt-test-{}-corrupt.bpgr",
+            std::process::id()
+        ));
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+
+        // Truncated mid-targets.
+        std::fs::write(&path, &buf[..buf.len() - 3]).unwrap();
+        assert!(crate::io::load_binary(&path).is_err());
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        let err = crate::io::load_binary(&path).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        std::fs::remove_file(&path).unwrap();
     }
 }

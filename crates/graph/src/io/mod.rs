@@ -3,9 +3,37 @@
 //! * [`text`] — whitespace-separated `src dst` lines with `#` comments, the
 //!   format SNAP/KONECT dumps use, so real datasets drop in unchanged.
 //! * [`binfmt`] — fixed-header little-endian CSR dump for fast reloads.
+//! * [`mmap`] — read-only file mappings backing [`load_binary`]'s
+//!   zero-copy load path (unix only; other platforms use the owned read).
 
 pub mod binfmt;
+#[cfg(unix)]
+pub mod mmap;
 pub mod text;
 
-pub use binfmt::{read_binary, write_binary};
+pub use binfmt::{read_binary, read_binary_bytes, write_binary};
 pub use text::{read_edge_list, write_edge_list};
+
+use crate::{CsrGraph, GraphError};
+use std::path::Path;
+
+/// Loads a binary CSR graph from `path`.
+///
+/// Prefers parsing straight out of a memory-mapped view of the file
+/// (no owned copy of the bytes); falls back to an ordinary owned read
+/// when mapping is unavailable (non-unix platforms) or fails. Both paths
+/// run the same validated parser ([`read_binary_bytes`]) and produce
+/// identical graphs.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    let path = path.as_ref();
+    #[cfg(unix)]
+    {
+        if let Ok(file) = std::fs::File::open(path) {
+            if let Ok(map) = mmap::Mmap::map(&file) {
+                return read_binary_bytes(&map);
+            }
+        }
+    }
+    let bytes = std::fs::read(path)?;
+    read_binary_bytes(&bytes)
+}

@@ -76,6 +76,42 @@ proptest! {
     }
 
     #[test]
+    fn bytes_parser_matches_streaming_reader(edges in arb_edges()) {
+        // The zero-copy byte parser and the owned-read loader must agree
+        // bit-for-bit on every well-formed file.
+        let g = CsrGraph::from_edges(64, &edges);
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        let via_bytes = io::read_binary_bytes(&buf).unwrap();
+        let via_reader = io::read_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(&via_bytes, &via_reader);
+        prop_assert_eq!(via_bytes, g);
+    }
+
+    #[test]
+    fn truncated_binary_files_are_rejected(edges in arb_edges(), cut_seed in 0u64..10_000) {
+        // Any strict prefix of a binary file is missing declared data and
+        // must fail cleanly (never panic, never OOM, never half-parse).
+        let g = CsrGraph::from_edges(64, &edges);
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        let cut = (cut_seed as usize) % buf.len();
+        prop_assert!(io::read_binary_bytes(&buf[..cut]).is_err(), "prefix of {cut} bytes parsed");
+    }
+
+    #[test]
+    fn corrupt_binary_headers_are_rejected(edges in arb_edges(), byte in 0usize..8, bit in 0usize..8) {
+        // Flipping any bit of the magic or version fields must be caught
+        // by header validation on both load paths.
+        let g = CsrGraph::from_edges(64, &edges);
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        buf[byte] ^= 1 << bit;
+        prop_assert!(io::read_binary_bytes(&buf).is_err());
+        prop_assert!(io::read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
     fn symmetrize_makes_every_edge_bidirectional(edges in arb_edges()) {
         let mut el: EdgeList = edges.into_iter().collect();
         el.remove_self_loops();

@@ -16,8 +16,8 @@ use crate::walker::{WalkApp, Walker};
 use bpart_cluster::exec::{collect_results, for_each_machine, ExecMode};
 use bpart_cluster::MachineId;
 use bpart_cluster::{
-    Cluster, CostModel, FaultPlan, FaultState, IterationRecord, MachineFailure, Router, Telemetry,
-    UnrecoverableFailure, WorkUnits,
+    Cluster, CostModel, Exchange, FaultPlan, FaultState, IterationRecord, MachineFailure,
+    MessageArena, Router, Telemetry, UnrecoverableFailure, WorkUnits,
 };
 use bpart_core::Partition;
 use bpart_graph::{CsrGraph, VertexId};
@@ -62,11 +62,17 @@ pub struct WalkEngine {
     checkpoint_every: Option<usize>,
 }
 
-/// Per-machine state: the local walker queue plus a local path log.
+/// Per-machine state: the local walker queue, a local path log, and the
+/// reusable messaging/scratch buffers that persist across supersteps.
 struct MachineState {
     queue: Vec<Walker>,
     /// `(walker id, step index, vertex)` triples, merged after the run.
     path_log: Vec<(u64, u32, VertexId)>,
+    /// Arena-staged migrating walkers (reset between supersteps).
+    outbox: MessageArena<Walker>,
+    /// Scratch for walkers staying local this superstep; swapped with
+    /// `queue` at the end of the step so both keep their capacity.
+    kept: Vec<Walker>,
 }
 
 /// One machine's checkpointed state: its walker queue plus its path log.
@@ -174,6 +180,8 @@ impl WalkEngine {
             .map(|_| MachineState {
                 queue: Vec::new(),
                 path_log: Vec::new(),
+                outbox: MessageArena::new(k),
+                kept: Vec::new(),
             })
             .collect();
         for (id, &v) in start_vertices.iter().enumerate() {
@@ -221,6 +229,12 @@ impl WalkEngine {
         let active_gauge =
             ACTIVE.get_or_init(|| bpart_obs::metrics::gauge("walker.progress_active"));
 
+        // The router and exchange persist across supersteps so their
+        // message buffers (like the per-machine arenas) are reused rather
+        // than reallocated at every barrier.
+        let mut router: Router<Walker> = Router::new(k);
+        let mut ex: Exchange<Walker> = Exchange::default();
+
         loop {
             let active: usize = states.iter().map(|s| s.queue.len()).sum();
             if active == 0 {
@@ -237,11 +251,13 @@ impl WalkEngine {
             let max_steps = app.walk_length();
 
             // ---- one step per active walker -----------------------------------
+            // Migrating walkers go straight into the machine's persistent
+            // arena; local survivors into its `kept` scratch. Both keep
+            // their high-water capacity across supersteps.
             let step_results = for_each_machine(self.mode, &mut states, |m, s| {
                 let mut work = WorkUnits::default();
-                let mut outbox: Vec<Vec<Walker>> =
-                    (0..cluster.num_machines()).map(|_| Vec::new()).collect();
-                let mut kept: Vec<Walker> = Vec::new();
+                debug_assert_eq!(s.kept.len(), 0);
+                debug_assert_eq!(s.outbox.staged(), 0);
                 for mut walker in s.queue.drain(..) {
                     debug_assert_eq!(cluster.owner(walker.current), m);
                     let next = app.next(&mut walker, graph);
@@ -258,15 +274,15 @@ impl WalkEngine {
                     }
                     let dest = cluster.owner(next);
                     if dest == m {
-                        kept.push(walker);
+                        s.kept.push(walker);
                     } else {
-                        outbox[dest as usize].push(walker);
+                        s.outbox.push(dest, walker);
                     }
                 }
-                s.queue = kept;
-                (outbox, work)
+                std::mem::swap(&mut s.queue, &mut s.kept);
+                work
             });
-            let step_out: Vec<(Vec<Vec<Walker>>, WorkUnits)> = match collect_results(step_results) {
+            let step_out: Vec<WorkUnits> = match collect_results(step_results) {
                 Ok(out) => out,
                 Err((machine, failure)) => {
                     // A panicked machine has drained (part of) its queue;
@@ -302,14 +318,12 @@ impl WalkEngine {
                 }
             };
 
-            let mut compute: Vec<f64> = step_out
-                .iter()
-                .map(|(_, w)| self.cost.compute_time(w))
-                .collect();
-            let steps_this_round: u64 = step_out.iter().map(|(_, w)| w.steps).sum();
+            let mut compute: Vec<f64> =
+                step_out.iter().map(|w| self.cost.compute_time(w)).collect();
+            let steps_this_round: u64 = step_out.iter().map(|w| w.steps).sum();
             step_span.attr("steps", steps_this_round);
             steps_counter.add(steps_this_round);
-            for (_, w) in &step_out {
+            for w in &step_out {
                 steps_hist.observe(w.steps as f64);
             }
 
@@ -348,8 +362,7 @@ impl WalkEngine {
             total_steps += steps_this_round;
 
             // ---- transmit migrating walkers ------------------------------------
-            let mut router: Router<Walker> = Router::new(k);
-            router.put_rows(step_out.into_iter().map(|(rows, _)| rows).collect());
+            router.put_rows(states.iter_mut().map(|s| s.outbox.take_filled()).collect());
 
             // Link faults on walker transmissions: retransmitted drops and
             // deduplicated duplicates cost time, never trajectories.
@@ -376,10 +389,14 @@ impl WalkEngine {
                 }
             }
 
-            let ex = router.exchange();
+            router.exchange_into(&mut ex);
             message_walks += ex.sent.iter().sum::<u64>();
-            for (m, inbox) in ex.inboxes.into_iter().enumerate() {
-                states[m].queue.extend(inbox);
+            for (m, inbox) in ex.inboxes.iter_mut().enumerate() {
+                states[m].queue.append(inbox);
+            }
+            // Hand the drained rows back to their arenas for reuse.
+            for (s, row) in states.iter_mut().zip(router.take_rows()) {
+                s.outbox.put_drained(row);
             }
 
             // ---- checkpoint -----------------------------------------------
@@ -468,6 +485,10 @@ fn restore(
     for (s, (queue, path_log)) in states.iter_mut().zip(&checkpoint.machines) {
         s.queue.clone_from(queue);
         s.path_log.clone_from(path_log);
+        // The abandoned superstep may have left staged walkers behind;
+        // the replay restages everything from the restored queues.
+        s.outbox.reset();
+        s.kept.clear();
     }
     *total_steps = checkpoint.total_steps;
     *message_walks = checkpoint.message_walks;

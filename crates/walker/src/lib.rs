@@ -42,5 +42,5 @@ pub mod weighted;
 
 pub use engine::{WalkEngine, WalkRun, WalkStarts};
 pub use rng::WalkerRng;
-pub use walker::{WalkApp, Walker};
-pub use weighted::{WeightedRandomWalk, WeightedTransitions};
+pub use walker::{TransitionSampler, WalkApp, Walker};
+pub use weighted::{CachedTransitions, WeightedRandomWalk, WeightedTransitions};

@@ -10,10 +10,10 @@
 //! The walker's own RNG drives the table, so weighted walks keep the
 //! engine's partition-invariance property.
 
-use crate::walker::{WalkApp, Walker};
-use bpart_graph::alias::AliasTable;
+use crate::walker::{TransitionSampler, WalkApp, Walker};
+use bpart_graph::alias::{sample_slices, AliasTable};
 use bpart_graph::{CsrGraph, VertexId};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Pre-built per-vertex transition samplers.
 #[derive(Clone, Debug)]
@@ -60,6 +60,135 @@ impl WeightedTransitions {
     }
 }
 
+impl TransitionSampler for WeightedTransitions {
+    #[inline]
+    fn sample(&self, walker: &mut Walker, graph: &CsrGraph, v: VertexId) -> Option<VertexId> {
+        WeightedTransitions::sample(self, walker, graph, v)
+    }
+}
+
+/// One vertex's entry in the [`CachedTransitions`] cache.
+#[derive(Debug)]
+enum TableSlot {
+    /// Vertex-specific table (non-uniform neighborhood weights).
+    Own(AliasTable),
+    /// The neighborhood weights are all equal, so the vertex shares the
+    /// per-degree bucket table — for such a table every `prob` column is
+    /// exactly 1.0, making its sample stream identical to a private one.
+    Uniform,
+}
+
+/// Lazily-built, degree-bucketed per-vertex transition samplers.
+///
+/// [`WeightedTransitions`] pays O(n + m) up front to build one table per
+/// vertex — including vertices no walker ever visits. This cache instead
+/// builds each neighborhood's table on first sample and reuses it for
+/// every later sample across supersteps (walks revisit hot vertices
+/// constantly, so the build amortizes to nothing). Two reuse levels:
+///
+/// * **per vertex** — the first walker to leave `v` builds `v`'s table
+///   (`OnceLock`, so concurrent machines race benignly to an identical
+///   table);
+/// * **per degree bucket** — neighborhoods whose weights are all equal
+///   (unweighted graphs under any constant weight function) collapse to
+///   one shared table per out-degree, shrinking cache storage from
+///   O(n + m) to O(max_degree) on uniform inputs.
+///
+/// The sample stream is bit-identical to the eager tables at equal RNG
+/// seeds: both paths draw through [`sample_slices`] in the same order, and
+/// a lazily built table is constructed from exactly the weights the eager
+/// build would have used (the uniform bucket's keep-probabilities are all
+/// 1.0, which any equal-weight construction also yields).
+pub struct CachedTransitions {
+    weight: Box<dyn Fn(VertexId, VertexId) -> f64 + Send + Sync>,
+    /// Per-vertex cache slot, built on first sample.
+    tables: Vec<OnceLock<TableSlot>>,
+    /// Degree buckets for uniform neighborhoods: `uniform[d]` is the one
+    /// table shared by every degree-`d` vertex with equal weights.
+    uniform: Vec<OnceLock<AliasTable>>,
+}
+
+impl CachedTransitions {
+    /// A cache over an arbitrary edge-weight function `weight(u, v) -> w > 0`.
+    pub fn new(
+        graph: &CsrGraph,
+        weight: impl Fn(VertexId, VertexId) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        let max_degree = graph
+            .vertices()
+            .map(|v| graph.out_degree(v))
+            .max()
+            .unwrap_or(0);
+        CachedTransitions {
+            weight: Box::new(weight),
+            tables: (0..graph.num_vertices()).map(|_| OnceLock::new()).collect(),
+            uniform: (0..max_degree + 1).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Deterministic synthetic weights in `1..=max_weight` (the cached
+    /// counterpart of [`WeightedTransitions::synthetic`]).
+    pub fn synthetic(graph: &CsrGraph, max_weight: u32) -> Self {
+        Self::new(graph, move |u, v| synthetic_weight(u, v, max_weight) as f64)
+    }
+
+    /// Samples a weighted out-transition from `v`, building (and caching)
+    /// `v`'s table on first use; `None` at dead ends.
+    #[inline]
+    pub fn sample(&self, walker: &mut Walker, graph: &CsrGraph, v: VertexId) -> Option<VertexId> {
+        let nbrs = graph.out_neighbors(v);
+        if nbrs.is_empty() {
+            return None;
+        }
+        let slot = self.tables[v as usize].get_or_init(|| {
+            let weights: Vec<f64> = nbrs.iter().map(|&w| (self.weight)(v, w)).collect();
+            // Only a *valid* uniform row may share the bucket; degenerate
+            // rows (zero/NaN) fall through so AliasTable::new rejects them
+            // with the same panic the eager build would raise.
+            let uniform = weights[0] > 0.0
+                && weights[0].is_finite()
+                && weights.iter().all(|&w| w == weights[0]);
+            if uniform {
+                TableSlot::Uniform
+            } else {
+                TableSlot::Own(AliasTable::new(&weights))
+            }
+        });
+        let table = match slot {
+            TableSlot::Own(table) => table,
+            TableSlot::Uniform => self.uniform[nbrs.len()].get_or_init(|| {
+                // Canonical bucket table: all keep-probabilities 1.0, as
+                // any equal-weight construction produces.
+                AliasTable::new(&vec![1.0; nbrs.len()])
+            }),
+        };
+        let mut adapter = WalkerRngAdapter(&mut walker.rng);
+        let idx = sample_slices(table.probs(), table.aliases(), &mut adapter);
+        Some(nbrs[idx as usize])
+    }
+
+    /// Number of cache entries built so far (vertex slots plus degree
+    /// buckets) — observability for tests and benches.
+    pub fn built_tables(&self) -> usize {
+        self.tables
+            .iter()
+            .filter(|slot| slot.get().is_some())
+            .count()
+            + self
+                .uniform
+                .iter()
+                .filter(|slot| slot.get().is_some())
+                .count()
+    }
+}
+
+impl TransitionSampler for CachedTransitions {
+    #[inline]
+    fn sample(&self, walker: &mut Walker, graph: &CsrGraph, v: VertexId) -> Option<VertexId> {
+        CachedTransitions::sample(self, walker, graph, v)
+    }
+}
+
 /// Deterministic pseudo-weight for edge `(u, v)` in `1..=max_weight`.
 #[inline]
 pub fn synthetic_weight(u: VertexId, v: VertexId, max_weight: u32) -> u64 {
@@ -100,12 +229,19 @@ impl rand::rand_core::TryRng for WalkerRngAdapter<'_> {
 #[derive(Clone)]
 pub struct WeightedRandomWalk {
     steps: u32,
-    transitions: Arc<WeightedTransitions>,
+    transitions: Arc<dyn TransitionSampler>,
 }
 
 impl WeightedRandomWalk {
-    /// Weighted walk of `steps` steps over the given transitions.
+    /// Weighted walk of `steps` steps over eagerly built transitions.
     pub fn new(steps: u32, transitions: Arc<WeightedTransitions>) -> Self {
+        WeightedRandomWalk { steps, transitions }
+    }
+
+    /// Weighted walk over any [`TransitionSampler`] — in particular the
+    /// lazily-cached [`CachedTransitions`], which produces bit-identical
+    /// traces while amortizing table construction across supersteps.
+    pub fn with_sampler(steps: u32, transitions: Arc<dyn TransitionSampler>) -> Self {
         WeightedRandomWalk { steps, transitions }
     }
 }
@@ -186,6 +322,71 @@ mod tests {
         .with_recording()
         .run(&app, &starts, 21);
         assert_eq!(a.paths, b.paths);
+    }
+
+    #[test]
+    fn cached_transitions_match_eager_sample_streams() {
+        let g = generate::twitter_like().generate_scaled(0.01);
+        let eager = WeightedTransitions::synthetic(&g, 8);
+        let cached = CachedTransitions::synthetic(&g, 8);
+        for id in 0..200u64 {
+            let mut a = Walker::new(id, (id % g.num_vertices() as u64) as VertexId, 17);
+            let mut b = a;
+            for _ in 0..12 {
+                let (va, vb) = (a.current, b.current);
+                let na = eager.sample(&mut a, &g, va);
+                let nb = cached.sample(&mut b, &g, vb);
+                assert_eq!(na, nb, "walker {id} diverged");
+                match na {
+                    Some(v) => {
+                        a.advance(v);
+                        b.advance(v);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_tables_build_once_and_bucket_by_degree() {
+        // Uniform weights on a complete graph: every vertex has the same
+        // degree, so the whole cache collapses to vertex markers plus ONE
+        // shared bucket table.
+        let g = generate::complete(6);
+        let t = CachedTransitions::new(&g, |_, _| 3.5);
+        assert_eq!(t.built_tables(), 0);
+        let mut w = Walker::new(0, 0, 5);
+        t.sample(&mut w, &g, 0).unwrap();
+        let after_first = t.built_tables();
+        assert_eq!(after_first, 2, "vertex slot + one degree bucket");
+        for _ in 0..50 {
+            let v = w.current;
+            if let Some(n) = t.sample(&mut w, &g, v) {
+                w.advance(n);
+            }
+        }
+        // Revisits reuse cached entries: at most one slot per vertex plus
+        // the single shared degree bucket.
+        assert!(t.built_tables() <= g.num_vertices() + 1);
+    }
+
+    #[test]
+    fn cached_walks_match_eager_walks_end_to_end() {
+        let graph = Arc::new(generate::twitter_like().generate_scaled(0.01));
+        let eager = WeightedRandomWalk::new(6, Arc::new(WeightedTransitions::synthetic(&graph, 8)));
+        let cached =
+            WeightedRandomWalk::with_sampler(6, Arc::new(CachedTransitions::synthetic(&graph, 8)));
+        let starts = WalkStarts::PerVertex(1);
+        let part = Arc::new(ChunkV.partition(&graph, 4));
+        let a = WalkEngine::default_for(graph.clone(), part.clone())
+            .with_recording()
+            .run(&eager, &starts, 21);
+        let b = WalkEngine::default_for(graph.clone(), part)
+            .with_recording()
+            .run(&cached, &starts, 21);
+        assert_eq!(a.paths, b.paths, "cached sampler changed walk traces");
+        assert_eq!(a.total_steps, b.total_steps);
     }
 
     #[test]
