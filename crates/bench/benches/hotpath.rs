@@ -102,7 +102,9 @@ fn bench_arena_exchange(c: &mut Criterion) {
                     );
                 }
             }
-            router.put_rows(arenas.iter_mut().map(|a| a.take_filled()).collect());
+            router
+                .put_rows(arenas.iter_mut().map(|a| a.take_filled()).collect())
+                .unwrap();
             router.exchange_into(&mut ex);
             for inbox in &mut ex.inboxes {
                 inbox_total += inbox.len() as u64;

@@ -49,9 +49,9 @@ pub enum Command {
     /// `bpart quality GRAPH PARTITION`
     Quality { graph: String, partition: String },
     /// `bpart run GRAPH --parts K [--scheme S] [--app A] [--iters N]
-    /// [--walk-len L] [--seed N] [--mode M] [--fault-plan SPEC]
-    /// [--checkpoint-every N] [--threads T] [--buffer-size B]
-    /// [+ observability flags]`
+    /// [--walk-len L] [--seed N] [--mode M] [--backend threads|process]
+    /// [--workers N] [--fault-plan SPEC] [--checkpoint-every N]
+    /// [--threads T] [--buffer-size B] [+ observability flags]`
     Run {
         graph: String,
         parts: usize,
@@ -61,11 +61,22 @@ pub enum Command {
         walk_len: u32,
         seed: u64,
         mode: String,
+        backend: String,
+        workers: Option<usize>,
         fault_plan: Option<String>,
         checkpoint_every: Option<usize>,
         threads: usize,
         buffer_size: usize,
         obs: ObsFlags,
+    },
+    /// `bpart worker --connect ADDR --worker-id N --key K
+    /// [--heartbeat-ms MS]` — internal: one supervised BSP worker
+    /// process, spawned by the process backend (not listed in usage).
+    Worker {
+        connect: String,
+        worker_id: u32,
+        key: u64,
+        heartbeat_ms: u64,
     },
     /// `bpart report TRACE [--critical-path] [--straggler-factor F]`
     Report {
@@ -241,6 +252,24 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "--mode must be sequential or threaded, got {mode:?}"
                 )));
             }
+            let backend = get_optional(&flags, "backend")
+                .unwrap_or("threads")
+                .to_string();
+            if backend != "threads" && backend != "process" {
+                return Err(err(format!(
+                    "--backend must be threads or process, got {backend:?}"
+                )));
+            }
+            let workers = match get_optional(&flags, "workers") {
+                Some(s) => {
+                    let w: usize = s.parse().map_err(|_| err(format!("bad --workers {s:?}")))?;
+                    if w == 0 {
+                        return Err(err("--workers must be at least 1"));
+                    }
+                    Some(w)
+                }
+                None => None,
+            };
             let fault_plan = get_optional(&flags, "fault-plan").map(str::to_string);
             let checkpoint_every = match get_optional(&flags, "checkpoint-every") {
                 Some(s) => {
@@ -266,6 +295,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "walk-len",
                     "seed",
                     "mode",
+                    "backend",
+                    "workers",
                     "fault-plan",
                     "checkpoint-every",
                     "threads",
@@ -286,11 +317,41 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 walk_len,
                 seed,
                 mode,
+                backend,
+                workers,
                 fault_plan,
                 checkpoint_every,
                 threads,
                 buffer_size,
                 obs,
+            })
+        }
+        "worker" => {
+            let (flags, positional) = split_flags(&rest)?;
+            if !positional.is_empty() {
+                return Err(err(format!(
+                    "worker takes no positional arguments, got {positional:?}"
+                )));
+            }
+            let connect = get_required(&flags, "connect")?;
+            let worker_id: u32 = get_required(&flags, "worker-id")?
+                .parse()
+                .map_err(|_| err("bad --worker-id"))?;
+            let key: u64 = get_required(&flags, "key")?
+                .parse()
+                .map_err(|_| err("bad --key"))?;
+            let heartbeat_ms: u64 = match get_optional(&flags, "heartbeat-ms") {
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| err(format!("bad --heartbeat-ms {s:?}")))?,
+                None => 100,
+            };
+            check_unknown(&flags, &["connect", "worker-id", "key", "heartbeat-ms"])?;
+            Ok(Command::Worker {
+                connect,
+                worker_id,
+                key,
+                heartbeat_ms,
             })
         }
         "report" => {
@@ -705,6 +766,8 @@ mod tests {
                 walk_len: 10,
                 seed: 42,
                 mode: "sequential".into(),
+                backend: "threads".into(),
+                workers: None,
                 fault_plan: None,
                 checkpoint_every: None,
                 threads: 1,
@@ -752,8 +815,58 @@ mod tests {
     fn run_rejects_bad_values() {
         assert!(p(&["run", "g", "--parts", "4", "--checkpoint-every", "0"]).is_err());
         assert!(p(&["run", "g", "--parts", "4", "--mode", "turbo"]).is_err());
+        assert!(p(&["run", "g", "--parts", "4", "--backend", "carrier-pigeon"]).is_err());
+        assert!(p(&["run", "g", "--parts", "4", "--workers", "0"]).is_err());
         assert!(p(&["run", "g", "--parts", "0"]).is_err());
         assert!(p(&["run"]).is_err());
+    }
+
+    #[test]
+    fn parses_run_with_process_backend() {
+        let cmd = p(&[
+            "run",
+            "g.txt",
+            "--parts",
+            "4",
+            "--backend",
+            "process",
+            "--workers",
+            "4",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run {
+                backend, workers, ..
+            } => {
+                assert_eq!(backend, "process");
+                assert_eq!(workers, Some(4));
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_internal_worker_command() {
+        let cmd = p(&[
+            "worker",
+            "--connect",
+            "127.0.0.1:4000",
+            "--worker-id",
+            "2",
+            "--key",
+            "99",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Worker {
+                connect: "127.0.0.1:4000".into(),
+                worker_id: 2,
+                key: 99,
+                heartbeat_ms: 100,
+            }
+        );
+        assert!(p(&["worker", "--connect", "x"]).is_err());
     }
 
     #[test]

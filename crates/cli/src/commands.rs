@@ -82,6 +82,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             walk_len,
             seed,
             mode,
+            backend,
+            workers,
             fault_plan,
             checkpoint_every,
             threads,
@@ -89,25 +91,55 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             obs,
         } => {
             let exports = ObsExports::begin(obs)?;
-            let mut text = run_cmd(
-                graph,
-                *parts,
-                scheme,
-                app,
-                *iters,
-                *walk_len,
-                *seed,
-                mode,
-                fault_plan.as_deref(),
-                *checkpoint_every,
-                ParallelConfig {
-                    threads: *threads,
-                    buffer_size: *buffer_size,
-                },
-                obs,
-            )?;
+            let mut text = if backend == "process" {
+                run_process_cmd(
+                    graph,
+                    *parts,
+                    scheme,
+                    app,
+                    *iters,
+                    *walk_len,
+                    *seed,
+                    *workers,
+                    fault_plan.as_deref(),
+                    *checkpoint_every,
+                )?
+            } else {
+                run_cmd(
+                    graph,
+                    *parts,
+                    scheme,
+                    app,
+                    *iters,
+                    *walk_len,
+                    *seed,
+                    mode,
+                    fault_plan.as_deref(),
+                    *checkpoint_every,
+                    ParallelConfig {
+                        threads: *threads,
+                        buffer_size: *buffer_size,
+                    },
+                    obs,
+                )?
+            };
             exports.finish(&mut text)?;
             Ok(text)
+        }
+        Command::Worker {
+            connect,
+            worker_id,
+            key,
+            heartbeat_ms,
+        } => {
+            bpart_dist::run_worker(bpart_dist::WorkerConfig {
+                connect: connect.clone(),
+                worker_id: *worker_id,
+                key: *key,
+                heartbeat: std::time::Duration::from_millis((*heartbeat_ms).max(1)),
+            })
+            .map_err(|e| fail(format!("worker {worker_id} failed: {e}")))?;
+            Ok(String::new())
         }
         Command::Report {
             trace,
@@ -574,6 +606,111 @@ fn run_cmd(
     Ok(out)
 }
 
+/// `run --backend process`: the job runs on real supervised worker
+/// processes, and the thread-simulated oracle runs in-process alongside
+/// it. The two result digests must agree bit-for-bit (recovery from any
+/// fault-plan crashes included) — a mismatch fails the command, which is
+/// what the CI chaos job leans on.
+#[allow(clippy::too_many_arguments)]
+fn run_process_cmd(
+    graph_path: &str,
+    parts: usize,
+    scheme_name: &str,
+    app: &str,
+    iters: usize,
+    walk_len: u32,
+    seed: u64,
+    workers: Option<usize>,
+    fault_plan: Option<&str>,
+    checkpoint_every: Option<usize>,
+) -> Result<String, CliError> {
+    use bpart_dist::{AppSpec, Backend, GraphSource, JobSpec, ProcessConfig, ThreadsConfig};
+
+    let workers = workers.unwrap_or(parts);
+    if workers != parts {
+        return Err(fail(format!(
+            "--workers {workers} must equal --parts {parts}: each worker process plays one machine"
+        )));
+    }
+    let plan = match fault_plan {
+        Some(spec) => spec
+            .parse::<FaultPlan>()
+            .map_err(|e| fail(format!("bad --fault-plan: {e}")))?,
+        None => FaultPlan::default(),
+    };
+    let app_spec = match app {
+        "pagerank" => AppSpec::PageRank { iters },
+        "cc" => AppSpec::ConnectedComponents,
+        "deepwalk" => AppSpec::DeepWalk {
+            walk_len,
+            seed,
+            per_vertex: 1,
+        },
+        "walk" => AppSpec::SimpleWalk {
+            walk_len,
+            seed,
+            per_vertex: 1,
+        },
+        other => {
+            return Err(fail(format!(
+                "unknown app {other:?}; available: {}",
+                app_names().join(", ")
+            )))
+        }
+    };
+    let spec = JobSpec {
+        graph: GraphSource::File(graph_path.to_string()),
+        scheme: scheme_name.to_string(),
+        parts: parts as u32,
+        app: app_spec,
+        checkpoint_every: checkpoint_every.map(|e| e as u32),
+    };
+
+    let exe =
+        std::env::current_exe().map_err(|e| fail(format!("cannot locate own executable: {e}")))?;
+    let mut cfg = ProcessConfig::new(
+        workers,
+        vec![exe.to_string_lossy().into_owned(), "worker".to_string()],
+    );
+    cfg.faults = plan;
+
+    let run_start = Instant::now();
+    let out = bpart_dist::run_job(&spec, &Backend::Process(cfg))
+        .map_err(|e| fail(format!("process backend failed: {e}")))?;
+    let wall = run_start.elapsed().as_secs_f64();
+    // The oracle runs fault-free: recovery must be transparent, so the
+    // process result has to match the undisturbed simulation.
+    let oracle = bpart_dist::run_job(&spec, &Backend::Threads(ThreadsConfig::default()))
+        .map_err(|e| fail(format!("threads oracle failed: {e}")))?;
+
+    let identical = out.digest == oracle.digest && out.supersteps == oracle.supersteps;
+    let mut text = format!(
+        "run: {app} on {graph_path}, {scheme_name} scheme, process backend ({workers} workers)\n"
+    );
+    text.push_str(&format!("  supersteps:      {}\n", out.supersteps));
+    text.push_str(&format!("  digest:          {:#018x}\n", out.digest));
+    text.push_str(&format!(
+        "  oracle digest:   {:#018x} (threads backend)\n",
+        oracle.digest
+    ));
+    text.push_str(&format!(
+        "  bit-identical:   {}\n",
+        if identical { "yes" } else { "NO" }
+    ));
+    let r = &out.recovery;
+    text.push_str(&format!(
+        "  recovery:        {} deaths, {} recoveries, {} respawns, {} replayed supersteps, {} link retries\n",
+        r.worker_deaths, r.recoveries, r.respawns, r.replayed_supersteps, r.link_retries
+    ));
+    text.push_str(&format!("  wall time:       {wall:.2}s\n"));
+    if !identical {
+        return Err(fail(format!(
+            "process backend diverged from the threads oracle:\n{text}"
+        )));
+    }
+    Ok(text)
+}
+
 fn mode_name(mode: ExecMode) -> &'static str {
     match mode {
         ExecMode::Threaded => "threaded",
@@ -823,6 +960,8 @@ mod tests {
             walk_len: 5,
             seed: 7,
             mode: "sequential".into(),
+            backend: "threads".into(),
+            workers: None,
             fault_plan: None,
             checkpoint_every: None,
             threads: 2,
@@ -861,6 +1000,8 @@ mod tests {
             walk_len: 5,
             seed: 7,
             mode: "sequential".into(),
+            backend: "threads".into(),
+            workers: None,
             fault_plan: fault_plan.map(str::to_string),
             checkpoint_every: Some(2),
             threads: 1,
@@ -924,6 +1065,8 @@ mod tests {
             walk_len: 5,
             seed: 7,
             mode: "sequential".into(),
+            backend: "threads".into(),
+            workers: None,
             fault_plan: None,
             checkpoint_every: None,
             threads: 1,
@@ -991,6 +1134,8 @@ mod tests {
             walk_len: 5,
             seed: 7,
             mode: "sequential".into(),
+            backend: "threads".into(),
+            workers: None,
             fault_plan: None,
             checkpoint_every: None,
             threads: 1,

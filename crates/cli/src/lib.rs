@@ -63,7 +63,8 @@ USAGE:
 [--threads T] [--buffer-size B] [+ OBSERVABILITY flags]
   bpart quality   GRAPH PARTITION
   bpart run       GRAPH --parts K [--scheme NAME] [--app APP] [--iters N] \
-[--walk-len L] [--seed N] [--mode sequential|threaded] [--fault-plan SPEC] \
+[--walk-len L] [--seed N] [--mode sequential|threaded] \
+[--backend threads|process] [--workers N] [--fault-plan SPEC] \
 [--checkpoint-every N] [--threads T] [--buffer-size B] \
 [+ OBSERVABILITY flags]
   bpart report    TRACE [--critical-path] [--straggler-factor F]
@@ -87,6 +88,17 @@ FAULT PLANS (run --fault-plan):
   seed=N                seed for the per-link fault hashing
   Crashed supersteps roll back to the last checkpoint (--checkpoint-every)
   and replay; results are identical to a fault-free run.
+
+DISTRIBUTED MODE (run --backend process):
+  --backend process  run each BSP machine as a real supervised worker
+                     process (spawned from this binary) over TCP; the
+                     thread-simulated oracle runs alongside and the
+                     command fails unless results are bit-identical
+  --workers N        worker process count; must equal --parts (default)
+  Fault-plan crash clauses become real SIGKILLs of worker processes:
+  death is detected by heartbeat loss, state restores from the last
+  driver-held checkpoint (--checkpoint-every), and the run replays to
+  the same result. See DESIGN.md §13.
 
 PARALLEL STREAMING (partition/run, streaming schemes only):
   --threads T      scoring worker threads (default 1 = exact sequential)

@@ -97,6 +97,8 @@ fn report_critical_path_renders_gating_and_blame() {
     })
     .unwrap();
     run(&Command::Run {
+        backend: "threads".into(),
+        workers: None,
         graph: gp.clone(),
         parts: 4,
         scheme: "bpart".into(),

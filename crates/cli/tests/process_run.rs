@@ -1,0 +1,102 @@
+//! End-to-end CLI test of `run --backend process`: the real `bpart`
+//! binary spawns real worker processes, a fault-plan crash `SIGKILL`s
+//! one mid-run, and the command itself verifies bit-identity against the
+//! threads oracle (it exits non-zero on divergence). This is the same
+//! path the CI chaos job drives.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bpart_procrun_test_{}_{name}", std::process::id()));
+    p
+}
+
+fn bpart() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bpart"))
+}
+
+fn generate_graph(path: &PathBuf) {
+    let out = bpart()
+        .args([
+            "generate", "--preset", "lj_like", "--scale", "0.02", "--seed", "11", "--out",
+        ])
+        .arg(path)
+        .output()
+        .expect("run bpart generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn process_backend_survives_a_sigkill_and_matches_the_oracle() {
+    let graph = tmp("graph.txt");
+    generate_graph(&graph);
+
+    let out = bpart()
+        .arg("run")
+        .arg(&graph)
+        .args([
+            "--parts",
+            "3",
+            "--scheme",
+            "chunk-v",
+            "--app",
+            "pagerank",
+            "--iters",
+            "6",
+            "--backend",
+            "process",
+            "--fault-plan",
+            "crash@2:m1",
+            "--checkpoint-every",
+            "2",
+        ])
+        .output()
+        .expect("run bpart run --backend process");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("bit-identical:   yes"), "{stdout}");
+    // Exactly one scheduled kill: one death, one recovery, one respawn.
+    assert!(
+        stdout.contains("recovery:        1 deaths, 1 recoveries, 1 respawns"),
+        "{stdout}"
+    );
+    std::fs::remove_file(&graph).ok();
+}
+
+#[test]
+fn process_backend_runs_clean_without_faults() {
+    let graph = tmp("clean_graph.txt");
+    generate_graph(&graph);
+
+    let out = bpart()
+        .arg("run")
+        .arg(&graph)
+        .args([
+            "--parts",
+            "3",
+            "--app",
+            "cc",
+            "--backend",
+            "process",
+            "--checkpoint-every",
+            "2",
+        ])
+        .output()
+        .expect("run bpart run --backend process");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("bit-identical:   yes"), "{stdout}");
+    assert!(
+        stdout.contains("recovery:        0 deaths, 0 recoveries"),
+        "{stdout}"
+    );
+    std::fs::remove_file(&graph).ok();
+}

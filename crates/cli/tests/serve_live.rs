@@ -60,6 +60,8 @@ fn serve_addr_answers_all_endpoints_during_a_run() {
     // (debug builds take ~5ms per superstep) while the test scrapes.
     let worker = std::thread::spawn(move || {
         run(&Command::Run {
+            backend: "threads".into(),
+            workers: None,
             graph: gp,
             parts: 4,
             scheme: "bpart".into(),

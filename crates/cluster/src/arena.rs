@@ -138,7 +138,9 @@ mod tests {
         arenas[2].push(0, 20);
         assert_eq!(arenas[0].staged(), 2);
 
-        router.put_rows(arenas.iter_mut().map(MessageArena::take_filled).collect());
+        router
+            .put_rows(arenas.iter_mut().map(MessageArena::take_filled).collect())
+            .unwrap();
         router.exchange_into(&mut ex);
         assert_eq!(ex.inboxes[1], vec![10, 11]);
         assert_eq!(ex.inboxes[0], vec![20]);
@@ -159,7 +161,9 @@ mod tests {
             for i in 0..100 {
                 arena.push((i % 2) as MachineId, i);
             }
-            router.put_rows(vec![arena.take_filled(), vec![Vec::new(), Vec::new()]]);
+            router
+                .put_rows(vec![arena.take_filled(), vec![Vec::new(), Vec::new()]])
+                .unwrap();
             router.exchange_into(&mut ex);
             arena.put_drained(router.take_rows().swap_remove(0));
             assert_eq!(arena.staged(), 0);

@@ -239,6 +239,20 @@ impl FaultPlan {
         self.crashes.len()
     }
 
+    /// The scheduled crashes as `(superstep, machine)` pairs, in plan
+    /// order. The process backend maps these onto real `SIGKILL`s.
+    pub fn crash_schedule(&self) -> Vec<(usize, MachineId)> {
+        self.crashes
+            .iter()
+            .map(|c| (c.superstep, c.machine))
+            .collect()
+    }
+
+    /// True when the plan schedules any link drop/duplication faults.
+    pub fn has_link_faults(&self) -> bool {
+        !self.links.is_empty()
+    }
+
     /// Parses the compact spec syntax used by `--fault-plan`: clauses
     /// separated by `;`, each one of
     ///
@@ -343,6 +357,56 @@ impl FromStr for FaultPlan {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         FaultPlan::parse(s)
+    }
+}
+
+/// Renders the compact spec syntax accepted by [`FaultPlan::parse`], so
+/// `parse(plan.to_string()) == plan` — plans survive a round trip through
+/// CLI flags, job specs, and log lines. A zero seed and empty clause
+/// lists are omitted; single-superstep ranges print without the `-B`
+/// half, and floats use Rust's shortest-round-trip formatting, all of
+/// which parse back to the identical plan.
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sep = "";
+        let mut clause = |f: &mut fmt::Formatter<'_>| {
+            let s = sep;
+            sep = "; ";
+            f.write_str(s)
+        };
+        if self.seed != 0 {
+            clause(f)?;
+            write!(f, "seed={}", self.seed)?;
+        }
+        for c in &self.crashes {
+            clause(f)?;
+            write!(f, "crash@{}:m{}", c.superstep, c.machine)?;
+        }
+        for s in &self.stragglers {
+            clause(f)?;
+            write!(f, "straggle@")?;
+            write_range(f, s.first, s.last)?;
+            write!(f, ":m{}:x{}", s.machine, s.factor)?;
+        }
+        for l in &self.links {
+            clause(f)?;
+            let kind = match l.kind {
+                LinkKind::Drop => "drop",
+                LinkKind::Duplicate => "dup",
+            };
+            write!(f, "{kind}@")?;
+            write_range(f, l.first, l.last)?;
+            write!(f, ":m{}->m{}:{}", l.from, l.to, l.probability)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_range(f: &mut fmt::Formatter<'_>, first: usize, last: usize) -> fmt::Result {
+    if first == last {
+        write!(f, "{first}")
+    } else {
+        write!(f, "{first}-{last}")
     }
 }
 
@@ -528,6 +592,37 @@ mod tests {
         )
         .unwrap();
         assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let plan = FaultPlan::new()
+            .with_seed(7)
+            .crash(3, 1)
+            .straggler(0, 5, 2, 4.0)
+            .straggler(3, 3, 0, 1.5)
+            .drop_link(1, 2, 0, 3, 0.5)
+            .duplicate_link(4, 4, 3, 0, 0.25);
+        let spec = plan.to_string();
+        assert_eq!(
+            spec,
+            "seed=7; crash@3:m1; straggle@0-5:m2:x4; straggle@3:m0:x1.5; \
+             drop@1-2:m0->m3:0.5; dup@4:m3->m0:0.25"
+        );
+        assert_eq!(FaultPlan::parse(&spec).unwrap(), plan);
+        // Empty plans render to the empty spec, which parses back empty.
+        assert_eq!(FaultPlan::new().to_string(), "");
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn crash_schedule_lists_plan_order() {
+        let plan = FaultPlan::new().crash(4, 2).crash(1, 0);
+        assert_eq!(plan.crash_schedule(), vec![(4, 2), (1, 0)]);
+        assert!(!plan.has_link_faults());
+        assert!(FaultPlan::new()
+            .drop_link(0, 1, 0, 1, 0.5)
+            .has_link_faults());
     }
 
     #[test]

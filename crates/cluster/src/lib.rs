@@ -39,7 +39,7 @@ pub mod telemetry;
 pub use arena::MessageArena;
 pub use cost::{CostModel, WorkUnits};
 pub use fault::{FaultPlan, FaultState, LinkOverhead, MachineFailure, UnrecoverableFailure};
-pub use router::{Exchange, Router};
+pub use router::{Exchange, Router, RouterError};
 pub use telemetry::{IterationRecord, MachineWaiting, Telemetry, TelemetrySummary};
 
 use bpart_core::{PartId, Partition};

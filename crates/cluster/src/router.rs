@@ -7,6 +7,54 @@
 //! sender's append order.
 
 use crate::MachineId;
+use std::fmt;
+
+/// A malformed outbox-row hand-back (see [`Router::put_rows`]): the rows
+/// do not form the full `k × k` matrix the exchange indexes into. Typed
+/// (rather than an `assert!`) so callers can degrade gracefully — the
+/// engines surface it as a recoverable per-run failure instead of
+/// aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouterError {
+    /// `rows.len()` did not match the machine count.
+    SenderArity {
+        /// Machines the router routes for.
+        expected: usize,
+        /// Rows actually handed back.
+        got: usize,
+    },
+    /// One sender's row did not cover every destination.
+    DestArity {
+        /// The offending sender.
+        sender: MachineId,
+        /// Machines the router routes for.
+        expected: usize,
+        /// Outboxes in that sender's row.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::SenderArity { expected, got } => write!(
+                f,
+                "put_rows: need one outbox row per sender ({expected}), got {got}"
+            ),
+            RouterError::DestArity {
+                sender,
+                expected,
+                got,
+            } => write!(
+                f,
+                "put_rows: sender {sender}'s row must cover every destination \
+                 ({expected}), got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
 
 /// Message buffers for a `k`-machine cluster.
 #[derive(Clone, Debug)]
@@ -89,26 +137,28 @@ impl<M> Router<M> {
     /// unchecked-by-construction, so a short inner row would otherwise
     /// surface later as a confusing out-of-bounds panic (or, worse, a
     /// *long* row would silently drop the excess destinations). Both
-    /// dimensions are therefore asserted here, at the hand-back point
-    /// where the mistake is made.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rows.len() != k` or any `rows[from].len() != k`.
-    pub fn put_rows(&mut self, rows: Vec<Vec<Vec<M>>>) {
-        assert_eq!(
-            rows.len(),
-            self.num_machines(),
-            "put_rows: need one outbox row per sender"
-        );
+    /// dimensions are therefore validated here, at the hand-back point
+    /// where the mistake is made; on error the router's outboxes are left
+    /// untouched (empty rows from the preceding `take_rows`) so the
+    /// caller can abandon the superstep cleanly.
+    pub fn put_rows(&mut self, rows: Vec<Vec<Vec<M>>>) -> Result<(), RouterError> {
+        if rows.len() != self.num_machines() {
+            return Err(RouterError::SenderArity {
+                expected: self.num_machines(),
+                got: rows.len(),
+            });
+        }
         for (from, row) in rows.iter().enumerate() {
-            assert_eq!(
-                row.len(),
-                self.num_machines(),
-                "put_rows: sender {from}'s row must cover every destination"
-            );
+            if row.len() != self.num_machines() {
+                return Err(RouterError::DestArity {
+                    sender: from as MachineId,
+                    expected: self.num_machines(),
+                    got: row.len(),
+                });
+            }
         }
         self.outboxes = rows;
+        Ok(())
     }
 
     /// Total messages staged right now.
@@ -256,7 +306,7 @@ mod tests {
         let mut r: Router<u8> = Router::new(2);
         let mut rows = r.take_rows();
         rows[0][1].push(9);
-        r.put_rows(rows);
+        r.put_rows(rows).unwrap();
         let ex = r.exchange();
         assert_eq!(ex.inboxes[1], vec![9]);
     }
@@ -282,14 +332,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one outbox row per sender")]
     fn put_rows_rejects_wrong_outer_arity() {
         let mut r: Router<u8> = Router::new(3);
-        r.put_rows(vec![vec![Vec::new(); 3]; 2]);
+        let err = r.put_rows(vec![vec![Vec::new(); 3]; 2]).unwrap_err();
+        assert_eq!(
+            err,
+            RouterError::SenderArity {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert!(err.to_string().contains("one outbox row per sender"));
+        // The router stays usable after the rejected hand-back.
+        r.send(0, 1, 7);
+        assert_eq!(r.exchange().inboxes[1], vec![7]);
     }
 
     #[test]
-    #[should_panic(expected = "cover every destination")]
     fn put_rows_rejects_wrong_inner_arity() {
         let mut r: Router<u8> = Router::new(3);
         // Right number of rows, but sender 1's row is missing a
@@ -299,14 +358,25 @@ mod tests {
             vec![Vec::new(), Vec::new()],
             vec![Vec::new(), Vec::new(), Vec::new()],
         ];
-        r.put_rows(rows);
+        let err = r.put_rows(rows).unwrap_err();
+        assert_eq!(
+            err,
+            RouterError::DestArity {
+                sender: 1,
+                expected: 3,
+                got: 2
+            }
+        );
+        assert!(err.to_string().contains("cover every destination"));
     }
 
     #[test]
-    #[should_panic(expected = "cover every destination")]
     fn put_rows_rejects_overlong_inner_rows() {
         let mut r: Router<u8> = Router::new(2);
         // An overlong row would silently drop the excess destinations.
-        r.put_rows(vec![vec![Vec::new(); 3], vec![Vec::new(); 2]]);
+        let err = r
+            .put_rows(vec![vec![Vec::new(); 3], vec![Vec::new(); 2]])
+            .unwrap_err();
+        assert!(matches!(err, RouterError::DestArity { sender: 0, .. }));
     }
 }

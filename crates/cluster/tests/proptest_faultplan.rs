@@ -1,0 +1,63 @@
+//! Property-based round trip for the fault-plan spec syntax: any plan
+//! built through the public API renders to a spec string that parses
+//! back to the identical plan. This is what lets fault plans travel
+//! through CLI flags, job specs, and log lines without drift.
+
+use bpart_cluster::FaultPlan;
+use proptest::prelude::*;
+
+/// Raw clause material: `(selector, first, extra, m1, m2, x)` becomes a
+/// crash / straggler / drop / dup clause (the stub proptest has no
+/// `prop_oneof`, so selection happens here).
+type RawClause = (u8, usize, usize, u32, u32, f64);
+
+fn build(seed: u64, clauses: &[RawClause]) -> FaultPlan {
+    let mut plan = FaultPlan::new().with_seed(seed);
+    for &(which, first, extra, m1, m2, x) in clauses {
+        let last = first + extra;
+        plan = match which % 4 {
+            0 => plan.crash(first, m1),
+            1 => plan.straggler(first, last, m1, 1.0 + x * 15.0),
+            2 => plan.drop_link(first, last, m1, m2, x),
+            _ => plan.duplicate_link(first, last, m1, m2, x),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_then_parse_is_identity(
+        seed in 0u64..u64::MAX,
+        clauses in prop::collection::vec(
+            (0u8..4, 0usize..30, 0usize..20, 0u32..8, 0u32..8, 0.0f64..1.0),
+            0..8,
+        ),
+    ) {
+        let plan = build(seed, &clauses);
+        let spec = plan.to_string();
+        let reparsed = FaultPlan::parse(&spec)
+            .unwrap_or_else(|e| panic!("{spec:?} failed to parse: {e}"));
+        prop_assert_eq!(&reparsed, &plan, "spec was {}", &spec);
+        // And rendering is stable across the round trip.
+        prop_assert_eq!(reparsed.to_string(), spec);
+    }
+
+    #[test]
+    fn parse_rejects_junk_clauses(pick in 0usize..6) {
+        // No bare word is a valid clause (every real clause contains
+        // '@' or '='), so parse must reject rather than ignore.
+        let word = ["crash", "straggle", "drop", "dup", "seed", "banana"][pick];
+        prop_assert!(FaultPlan::parse(word).is_err(), "{:?} unexpectedly parsed", word);
+    }
+}
+
+#[test]
+fn empty_spec_is_the_empty_plan() {
+    let plan = FaultPlan::parse("").unwrap();
+    assert!(plan.is_empty());
+    assert_eq!(plan.to_string(), "");
+    assert_eq!(plan, FaultPlan::new());
+}

@@ -1,0 +1,121 @@
+//! The typed error surface of the distributed backend.
+//!
+//! Everything that can go wrong between driver and workers collapses into
+//! [`ClusterError`]; supervision code matches on the variant to decide
+//! between retry (Timeout, ConnReset), recovery (WorkerDead), and giving
+//! up (FrameCorrupt on a live link, Unrecoverable).
+
+use bpart_cluster::MachineId;
+use std::fmt;
+use std::io;
+
+/// Why a distributed operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A per-RPC deadline expired before the expected frames arrived.
+    Timeout {
+        /// What the caller was waiting for.
+        what: String,
+    },
+    /// The peer's connection closed or reset mid-conversation.
+    ConnReset {
+        /// Best-effort detail from the underlying I/O error.
+        detail: String,
+    },
+    /// A frame failed validation (bad magic, impossible length, checksum
+    /// mismatch, or a truncated/garbled payload).
+    FrameCorrupt {
+        /// What was wrong with the frame.
+        reason: String,
+    },
+    /// A worker was declared dead (heartbeat loss) and could not be
+    /// brought back within the respawn budget.
+    WorkerDead {
+        /// The dead worker's machine id.
+        worker: MachineId,
+        /// Superstep during which death was detected.
+        superstep: u64,
+    },
+    /// A failure recovery cannot fix (bad job spec, repeated death at the
+    /// same superstep, protocol violation).
+    Unrecoverable {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl ClusterError {
+    /// Shorthand constructor for [`ClusterError::FrameCorrupt`].
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        ClusterError::FrameCorrupt {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`ClusterError::Unrecoverable`].
+    pub fn unrecoverable(reason: impl Into<String>) -> Self {
+        ClusterError::Unrecoverable {
+            reason: reason.into(),
+        }
+    }
+
+    /// Maps an I/O error from a socket operation: timeouts stay timeouts,
+    /// everything else is a connection-level failure.
+    pub fn from_io(what: &str, e: &io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ClusterError::Timeout {
+                what: what.to_string(),
+            },
+            _ => ClusterError::ConnReset {
+                detail: format!("{what}: {e}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Timeout { what } => write!(f, "timed out waiting for {what}"),
+            ClusterError::ConnReset { detail } => write!(f, "connection reset: {detail}"),
+            ClusterError::FrameCorrupt { reason } => write!(f, "corrupt frame: {reason}"),
+            ClusterError::WorkerDead { worker, superstep } => {
+                write!(f, "worker {worker} dead at superstep {superstep}")
+            }
+            ClusterError::Unrecoverable { reason } => write!(f, "unrecoverable: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_timeouts_map_to_timeout() {
+        let e = io::Error::new(io::ErrorKind::TimedOut, "slow");
+        assert!(matches!(
+            ClusterError::from_io("join", &e),
+            ClusterError::Timeout { .. }
+        ));
+        let e = io::Error::new(io::ErrorKind::ConnectionReset, "gone");
+        assert!(matches!(
+            ClusterError::from_io("join", &e),
+            ClusterError::ConnReset { .. }
+        ));
+    }
+
+    #[test]
+    fn displays_are_descriptive() {
+        let e = ClusterError::WorkerDead {
+            worker: 2,
+            superstep: 7,
+        };
+        assert_eq!(e.to_string(), "worker 2 dead at superstep 7");
+        assert!(ClusterError::corrupt("bad magic")
+            .to_string()
+            .contains("bad magic"));
+    }
+}

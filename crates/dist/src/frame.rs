@@ -1,0 +1,228 @@
+//! The wire frame: the unit every driver/worker byte stream is made of.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic    0x42_50_44_46 ("BPDF")
+//! 4       4     payload length `n` (<= MAX_PAYLOAD)
+//! 8       1     kind (message discriminant, see proto)
+//! 9       4     FNV-1a checksum over kind byte + payload
+//! 13      n     payload
+//! ```
+//!
+//! The length prefix makes framing self-describing; the checksum catches
+//! garbled bytes before they are interpreted as protocol messages. A
+//! frame that fails any validation surfaces as
+//! [`ClusterError::FrameCorrupt`] — the connection is then unusable
+//! (stream framing is lost) and supervision tears it down.
+
+use crate::error::ClusterError;
+use std::io::{self, Read, Write};
+
+/// `"BPDF"` — bpart dist frame.
+pub const MAGIC: u32 = 0x4250_4446;
+
+/// Upper bound on one frame's payload (1 GiB). Real payloads are per-
+/// superstep message rows; anything near this bound is a corrupt length.
+pub const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// Bytes before the payload: magic + length + kind + checksum.
+pub const HEADER_LEN: usize = 13;
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Message discriminant (see `proto`).
+    pub kind: u8,
+    /// Message payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// FNV-1a over the kind byte followed by the payload.
+fn checksum(kind: u8, payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    let mut step = |b: u8| {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    };
+    step(kind);
+    for &b in payload {
+        step(b);
+    }
+    h
+}
+
+/// Encodes one frame into a fresh byte vector.
+pub fn encode(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD as usize,
+        "payload exceeds MAX_PAYLOAD"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&checksum(kind, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes the frame at the front of `buf`, returning it plus the number
+/// of bytes consumed. Rejects bad magic, impossible lengths, truncated
+/// buffers, and checksum mismatches.
+pub fn decode(buf: &[u8]) -> Result<(Frame, usize), ClusterError> {
+    if buf.len() < HEADER_LEN {
+        return Err(ClusterError::corrupt(format!(
+            "truncated header: {} of {HEADER_LEN} bytes",
+            buf.len()
+        )));
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(ClusterError::corrupt(format!("bad magic {magic:#010x}")));
+    }
+    let len = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(ClusterError::corrupt(format!(
+            "length {len} exceeds MAX_PAYLOAD"
+        )));
+    }
+    let kind = buf[8];
+    let want = u32::from_le_bytes(buf[9..13].try_into().unwrap());
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Err(ClusterError::corrupt(format!(
+            "truncated payload: {} of {total} bytes",
+            buf.len()
+        )));
+    }
+    let payload = &buf[HEADER_LEN..total];
+    let got = checksum(kind, payload);
+    if got != want {
+        return Err(ClusterError::corrupt(format!(
+            "checksum mismatch: stated {want:#010x}, computed {got:#010x}"
+        )));
+    }
+    Ok((
+        Frame {
+            kind,
+            payload: payload.to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Writes one frame to a stream (single buffered write).
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode(kind, payload))?;
+    w.flush()
+}
+
+/// Reads one frame from a stream. Header validation happens before the
+/// payload is read, so a corrupt length never triggers a giant
+/// allocation. I/O errors are mapped via [`ClusterError::from_io`]; a
+/// clean EOF at a frame boundary surfaces as `ConnReset` (the peer hung
+/// up).
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, ClusterError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact(r, &mut header, "frame header")?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(ClusterError::corrupt(format!("bad magic {magic:#010x}")));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(ClusterError::corrupt(format!(
+            "length {len} exceeds MAX_PAYLOAD"
+        )));
+    }
+    let kind = header[8];
+    let want = u32::from_le_bytes(header[9..13].try_into().unwrap());
+    let mut payload = vec![0u8; len as usize];
+    read_exact(r, &mut payload, "frame payload")?;
+    let got = checksum(kind, &payload);
+    if got != want {
+        return Err(ClusterError::corrupt(format!(
+            "checksum mismatch: stated {want:#010x}, computed {got:#010x}"
+        )));
+    }
+    Ok(Frame { kind, payload })
+}
+
+fn read_exact(r: &mut impl Read, buf: &mut [u8], what: &str) -> Result<(), ClusterError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ClusterError::ConnReset {
+                detail: format!("{what}: peer closed the connection"),
+            }
+        } else {
+            ClusterError::from_io(what, &e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for (kind, payload) in [(1u8, vec![]), (7, vec![0xab; 3]), (255, (0..100).collect())] {
+            let bytes = encode(kind, &payload);
+            let (frame, used) = decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(frame, Frame { kind, payload });
+        }
+    }
+
+    #[test]
+    fn decode_consumes_only_one_frame() {
+        let mut bytes = encode(1, b"first");
+        let second = encode(2, b"second");
+        bytes.extend_from_slice(&second);
+        let (frame, used) = decode(&bytes).unwrap();
+        assert_eq!(frame.payload, b"first");
+        let (frame2, _) = decode(&bytes[used..]).unwrap();
+        assert_eq!(frame2.kind, 2);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_checksum() {
+        let mut bytes = encode(3, b"payload");
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            decode(&bytes),
+            Err(ClusterError::FrameCorrupt { .. })
+        ));
+        let mut bytes = encode(3, b"payload");
+        *bytes.last_mut().unwrap() ^= 0x01;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn rejects_impossible_length_without_allocating() {
+        let mut bytes = encode(3, b"x");
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("MAX_PAYLOAD"), "{err}");
+        // The stream reader must reject it from the header alone.
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("MAX_PAYLOAD"), "{err}");
+    }
+
+    #[test]
+    fn stream_round_trip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 9, b"hello").unwrap();
+        write_frame(&mut buf, 10, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().payload, b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().kind, 10);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ClusterError::ConnReset { .. })
+        ));
+    }
+}

@@ -1,0 +1,247 @@
+//! Distributed BSP execution: real OS processes behind a [`Backend`]
+//! switch.
+//!
+//! The thread-simulated engines in `bpart-engine` / `bpart-walker` are
+//! the semantic oracle; this crate runs the *same* superstep order over
+//! a length-prefixed TCP frame protocol in a star topology (driver in
+//! the middle, one worker process per BSP machine). The contract is
+//! bit-identity: on a fixed [`JobSpec`], PageRank, connected components,
+//! and random walks produce byte-for-byte the same results on both
+//! backends — even when worker processes are `SIGKILL`ed mid-superstep
+//! and recovered from checkpoints.
+//!
+//! Layer map:
+//!
+//! * [`frame`] — length-prefixed, checksummed wire frames;
+//! * [`wire`] — payload primitive encoding (no serde);
+//! * [`proto`] — typed driver/worker messages over frames;
+//! * [`spec`] — a self-contained job description every process can
+//!   deterministically rebuild the cluster from;
+//! * [`transport`] — deadlines, backoff, heartbeats;
+//! * [`step`] — the superstep state machines that mirror the engines;
+//! * [`worker`] / [`driver`] — the two process roles.
+
+pub mod driver;
+pub mod error;
+pub mod frame;
+pub mod proto;
+pub mod spec;
+pub mod step;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use driver::{run_process, AppOutput, ProcessConfig, RecoveryStats};
+pub use error::ClusterError;
+pub use spec::{AppSpec, GraphSource, JobSpec};
+pub use worker::{run_worker, WorkerConfig};
+
+use bpart_cluster::exec::ExecMode;
+use bpart_cluster::{CostModel, FaultPlan};
+use bpart_graph::VertexId;
+use wire::{encode_all, Wire};
+
+/// Configuration for the in-process (thread-simulated) backend — the
+/// oracle the process backend is checked against.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadsConfig {
+    /// Sequential or one-thread-per-machine execution.
+    pub mode: ExecMode,
+    /// Simulated fault plan (crashes, link faults).
+    pub faults: FaultPlan,
+    /// Checkpoint interval override; defaults to the job spec's.
+    pub checkpoint_every: Option<u32>,
+}
+
+/// Where a job runs: simulated machines in this process, or real
+/// supervised worker processes.
+#[derive(Debug)]
+pub enum Backend {
+    /// In-process simulation (`bpart-engine` / `bpart-walker`).
+    Threads(ThreadsConfig),
+    /// One OS process per machine, driven over TCP.
+    Process(ProcessConfig),
+}
+
+/// Runs a job on the chosen backend and reports the result digest plus
+/// recovery telemetry. The digest is computed the same way on both
+/// backends, so equal digests mean bit-identical results.
+pub fn run_job(spec: &JobSpec, backend: &Backend) -> Result<AppOutput, ClusterError> {
+    match backend {
+        Backend::Process(cfg) => driver::run_process(spec, cfg),
+        Backend::Threads(cfg) => run_threads(spec, cfg),
+    }
+}
+
+fn run_threads(spec: &JobSpec, cfg: &ThreadsConfig) -> Result<AppOutput, ClusterError> {
+    let cluster = spec.build_cluster()?;
+    let checkpoint_every = cfg.checkpoint_every.or(spec.checkpoint_every);
+    let fail = |e: bpart_cluster::UnrecoverableFailure| ClusterError::unrecoverable(e.to_string());
+    match &spec.app {
+        AppSpec::PageRank { iters } => {
+            let mut engine =
+                bpart_engine::IterationEngine::new(cluster, CostModel::default(), cfg.mode)
+                    .with_faults(cfg.faults.clone());
+            if let Some(every) = checkpoint_every.filter(|&e| e > 0) {
+                engine = engine.with_checkpoint_every(every as usize);
+            }
+            let run = engine
+                .try_run(&bpart_engine::apps::PageRank::new(*iters))
+                .map_err(fail)?;
+            Ok(AppOutput {
+                digest: digest_wire(&run.values),
+                supersteps: run.iterations as u64,
+                recovery: threads_stats(&run.telemetry),
+            })
+        }
+        AppSpec::ConnectedComponents => {
+            let mut engine =
+                bpart_engine::IterationEngine::new(cluster, CostModel::default(), cfg.mode)
+                    .with_faults(cfg.faults.clone());
+            if let Some(every) = checkpoint_every.filter(|&e| e > 0) {
+                engine = engine.with_checkpoint_every(every as usize);
+            }
+            let run = engine
+                .try_run(&bpart_engine::apps::ConnectedComponents)
+                .map_err(fail)?;
+            Ok(AppOutput {
+                digest: digest_wire(&run.values),
+                supersteps: run.iterations as u64,
+                recovery: threads_stats(&run.telemetry),
+            })
+        }
+        AppSpec::DeepWalk {
+            walk_len,
+            seed,
+            per_vertex,
+        } => run_threads_walk(
+            cluster,
+            cfg,
+            checkpoint_every,
+            &bpart_walker::apps::DeepWalk::new(*walk_len),
+            *seed,
+            *per_vertex,
+        ),
+        AppSpec::SimpleWalk {
+            walk_len,
+            seed,
+            per_vertex,
+        } => run_threads_walk(
+            cluster,
+            cfg,
+            checkpoint_every,
+            &bpart_walker::apps::SimpleRandomWalk::new(*walk_len),
+            *seed,
+            *per_vertex,
+        ),
+    }
+}
+
+fn run_threads_walk<A: bpart_walker::WalkApp>(
+    cluster: bpart_cluster::Cluster,
+    cfg: &ThreadsConfig,
+    checkpoint_every: Option<u32>,
+    app: &A,
+    seed: u64,
+    per_vertex: u32,
+) -> Result<AppOutput, ClusterError> {
+    let mut engine = bpart_walker::WalkEngine::new(cluster, CostModel::default(), cfg.mode)
+        .with_faults(cfg.faults.clone())
+        .with_recording();
+    if let Some(every) = checkpoint_every.filter(|&e| e > 0) {
+        engine = engine.with_checkpoint_every(every as usize);
+    }
+    let run = engine
+        .try_run(app, &bpart_walker::WalkStarts::PerVertex(per_vertex), seed)
+        .map_err(|e| ClusterError::unrecoverable(e.to_string()))?;
+    let paths = run
+        .paths
+        .ok_or_else(|| ClusterError::unrecoverable("walk engine did not record paths"))?;
+    Ok(AppOutput {
+        digest: digest_paths(&paths),
+        supersteps: run.iterations as u64,
+        recovery: threads_stats(&run.telemetry),
+    })
+}
+
+/// Maps the simulated engines' telemetry onto the process backend's
+/// recovery counters: link retries (fault-plan dropped + duplicated) and
+/// replayed supersteps are defined identically on both sides, which is
+/// what the drop-link parity fixture checks.
+fn threads_stats(telemetry: &bpart_cluster::Telemetry) -> RecoveryStats {
+    RecoveryStats {
+        link_retries: telemetry.total_faults(),
+        replayed_supersteps: telemetry.replayed_supersteps() as u64,
+        ..RecoveryStats::default()
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
+
+/// FNV-1a over raw bytes.
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Digest of a value sequence via its canonical wire encoding.
+pub fn digest_wire<T: Wire>(items: &[T]) -> u64 {
+    let mut buf = Vec::new();
+    encode_all(items, &mut buf);
+    digest_bytes(&buf)
+}
+
+/// Digest of recorded walk paths (length-prefixed per path, so path
+/// boundaries are part of the identity).
+pub fn digest_paths(paths: &[Vec<VertexId>]) -> u64 {
+    let mut buf = Vec::with_capacity(paths.iter().map(|p| 4 + p.len() * 4).sum());
+    for p in paths {
+        buf.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        for &v in p {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    digest_bytes(&buf)
+}
+
+/// Rebuilds per-walker paths from a merged `(walker, step, vertex)` log —
+/// the exact merge the walk engine performs across machine-local logs.
+pub fn paths_from_log(
+    mut log: Vec<(u64, u32, VertexId)>,
+    num_walkers: usize,
+) -> Vec<Vec<VertexId>> {
+    log.sort_unstable();
+    let mut paths = vec![Vec::new(); num_walkers];
+    for (id, _step, v) in log {
+        if let Some(p) = paths.get_mut(id as usize) {
+            p.push(v);
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_and_boundary_sensitive() {
+        let a = digest_wire(&[1u32, 2, 3]);
+        let b = digest_wire(&[3u32, 2, 1]);
+        assert_ne!(a, b);
+        let p1 = digest_paths(&[vec![1, 2], vec![3]]);
+        let p2 = digest_paths(&[vec![1], vec![2, 3]]);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn paths_from_log_sorts_by_walker_then_step() {
+        let log = vec![(1u64, 1u32, 7u32), (0, 0, 2), (1, 0, 5), (0, 1, 4)];
+        let paths = paths_from_log(log, 2);
+        assert_eq!(paths, vec![vec![2, 4], vec![5, 7]]);
+    }
+}

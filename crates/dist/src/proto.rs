@@ -1,0 +1,511 @@
+//! Driver ↔ worker protocol messages.
+//!
+//! Star topology: workers never talk to each other, all superstep data
+//! routes through the driver. Every message carries the recovery *epoch*
+//! — incremented each time the driver restores from a checkpoint — so
+//! frames from before a recovery (a `StepDone` that raced the death
+//! verdict, say) are recognized as stale and dropped instead of being
+//! mistaken for progress in the replayed superstep.
+//!
+//! ```text
+//! kind  direction        message
+//! 1     worker -> driver Join      { worker_id, key }
+//! 2     driver -> worker Job       { spec, machine }
+//! 3     worker -> driver Ready     { epoch, agg }
+//! 4     driver -> worker StepBegin { epoch, superstep, agg, checkpoint }
+//! 5     worker -> driver StepData  { epoch, superstep, rows[k] }
+//! 6     driver -> worker Inbox     { epoch, superstep, rows[k] }
+//! 7     worker -> driver StepDone  { epoch, superstep, active, agg, snapshot? }
+//! 8     driver -> worker Restore   { epoch, superstep, state? }
+//! 9     driver -> worker Finish    { epoch }
+//! 10    worker -> driver Final     { epoch, result }
+//! 11    worker -> driver Heartbeat { epoch }
+//! 12    driver -> worker Shutdown  { }
+//! ```
+
+use crate::error::ClusterError;
+use crate::frame::Frame;
+use crate::spec::JobSpec;
+use crate::wire::{put_bytes, put_f64, put_u32, put_u64, Reader};
+
+/// Frame kinds (the `kind` byte of every frame).
+pub mod kind {
+    /// Worker announces itself after connecting.
+    pub const JOIN: u8 = 1;
+    /// Driver ships the job spec and machine assignment.
+    pub const JOB: u8 = 2;
+    /// Worker finished (re)building local state.
+    pub const READY: u8 = 3;
+    /// Driver starts a superstep.
+    pub const STEP_BEGIN: u8 = 4;
+    /// Worker's outgoing rows for the superstep.
+    pub const STEP_DATA: u8 = 5;
+    /// Driver's concatenated inbox for the worker.
+    pub const INBOX: u8 = 6;
+    /// Worker applied the superstep.
+    pub const STEP_DONE: u8 = 7;
+    /// Driver rolls the worker back to a checkpoint.
+    pub const RESTORE: u8 = 8;
+    /// Driver asks for the final local result.
+    pub const FINISH: u8 = 9;
+    /// Worker's final local result.
+    pub const FINAL: u8 = 10;
+    /// Worker liveness signal.
+    pub const HEARTBEAT: u8 = 11;
+    /// Driver tells the worker to exit cleanly.
+    pub const SHUTDOWN: u8 = 12;
+}
+
+/// One destination's worth of outgoing messages: the element count plus
+/// their back-to-back wire encoding. The count travels separately so the
+/// driver can do link-fault accounting without decoding app payloads.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RowSeg {
+    /// Number of messages encoded in `data`.
+    pub count: u32,
+    /// Back-to-back `Wire` encodings.
+    pub data: Vec<u8>,
+}
+
+fn put_rows(out: &mut Vec<u8>, rows: &[RowSeg]) {
+    put_u32(out, rows.len() as u32);
+    for seg in rows {
+        put_u32(out, seg.count);
+        put_bytes(out, &seg.data);
+    }
+}
+
+fn read_rows(r: &mut Reader<'_>) -> Result<Vec<RowSeg>, ClusterError> {
+    let n = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push(RowSeg {
+            count: r.u32()?,
+            data: r.bytes()?,
+        });
+    }
+    Ok(rows)
+}
+
+fn put_opt_bytes(out: &mut Vec<u8>, v: &Option<Vec<u8>>) {
+    match v {
+        Some(b) => {
+            out.push(1);
+            put_bytes(out, b);
+        }
+        None => out.push(0),
+    }
+}
+
+fn read_opt_bytes(r: &mut Reader<'_>) -> Result<Option<Vec<u8>>, ClusterError> {
+    Ok(match r.u8()? {
+        0 => None,
+        _ => Some(r.bytes()?),
+    })
+}
+
+/// Messages the driver sends to a worker.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DriverMsg {
+    /// Job spec plus the worker's machine assignment.
+    Job {
+        /// The job to rebuild locally.
+        spec: JobSpec,
+        /// Which BSP machine this worker plays.
+        machine: u32,
+    },
+    /// Begin a superstep: aggregate from the previous barrier, plus
+    /// whether the worker must attach a snapshot to its `StepDone`.
+    StepBegin {
+        /// Recovery epoch.
+        epoch: u32,
+        /// Superstep index.
+        superstep: u64,
+        /// Global aggregate entering this superstep.
+        agg: f64,
+        /// Attach a state snapshot to `StepDone`.
+        checkpoint: bool,
+    },
+    /// The worker's concatenated inbox for the superstep.
+    Inbox {
+        /// Recovery epoch.
+        epoch: u32,
+        /// Superstep index.
+        superstep: u64,
+        /// One segment per sender, in machine order; the worker's own
+        /// row arrives empty (it kept it locally).
+        rows: Vec<RowSeg>,
+    },
+    /// Roll back to `superstep` with the given state (`None`: re-init
+    /// from the deterministic initial state).
+    Restore {
+        /// New (incremented) recovery epoch.
+        epoch: u32,
+        /// Superstep to resume from.
+        superstep: u64,
+        /// Snapshot bytes, or `None` for the initial state.
+        state: Option<Vec<u8>>,
+    },
+    /// The run is complete; send `Final`.
+    Finish {
+        /// Recovery epoch.
+        epoch: u32,
+    },
+    /// Exit cleanly.
+    Shutdown,
+}
+
+/// Messages a worker sends to the driver.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerMsg {
+    /// First frame after connecting: who am I, and the shared secret.
+    Join {
+        /// Worker id (machine id) assigned on the command line.
+        worker_id: u32,
+        /// Join key; rejects strays connecting to the wrong driver.
+        key: u64,
+    },
+    /// Local state (re)built; carries the worker's initial aggregate
+    /// contribution.
+    Ready {
+        /// Recovery epoch the worker is now in.
+        epoch: u32,
+        /// Local aggregate of the (restored) state.
+        agg: f64,
+    },
+    /// Outgoing rows, one segment per destination machine; the worker's
+    /// own segment is empty (kept locally to preserve combine order).
+    StepData {
+        /// Recovery epoch.
+        epoch: u32,
+        /// Superstep index.
+        superstep: u64,
+        /// One segment per destination, in machine order.
+        rows: Vec<RowSeg>,
+    },
+    /// Superstep applied.
+    StepDone {
+        /// Recovery epoch.
+        epoch: u32,
+        /// Superstep index.
+        superstep: u64,
+        /// Local activity signal (votes-to-halt when the sum over
+        /// workers is zero).
+        active: u64,
+        /// Local aggregate contribution for the next superstep.
+        agg: f64,
+        /// State snapshot, present when `StepBegin` asked for one.
+        snapshot: Option<Vec<u8>>,
+    },
+    /// Final local result bytes.
+    Final {
+        /// Recovery epoch.
+        epoch: u32,
+        /// App-specific encoding of the local result.
+        result: Vec<u8>,
+    },
+    /// Liveness signal, sent on an interval by a dedicated thread.
+    Heartbeat {
+        /// Recovery epoch.
+        epoch: u32,
+    },
+}
+
+impl DriverMsg {
+    /// `(kind, payload)` for framing.
+    pub fn to_frame(&self) -> (u8, Vec<u8>) {
+        let mut out = Vec::new();
+        let kind = match self {
+            DriverMsg::Job { spec, machine } => {
+                put_u32(&mut out, *machine);
+                put_bytes(&mut out, &spec.encode());
+                kind::JOB
+            }
+            DriverMsg::StepBegin {
+                epoch,
+                superstep,
+                agg,
+                checkpoint,
+            } => {
+                put_u32(&mut out, *epoch);
+                put_u64(&mut out, *superstep);
+                put_f64(&mut out, *agg);
+                out.push(*checkpoint as u8);
+                kind::STEP_BEGIN
+            }
+            DriverMsg::Inbox {
+                epoch,
+                superstep,
+                rows,
+            } => {
+                put_u32(&mut out, *epoch);
+                put_u64(&mut out, *superstep);
+                put_rows(&mut out, rows);
+                kind::INBOX
+            }
+            DriverMsg::Restore {
+                epoch,
+                superstep,
+                state,
+            } => {
+                put_u32(&mut out, *epoch);
+                put_u64(&mut out, *superstep);
+                put_opt_bytes(&mut out, state);
+                kind::RESTORE
+            }
+            DriverMsg::Finish { epoch } => {
+                put_u32(&mut out, *epoch);
+                kind::FINISH
+            }
+            DriverMsg::Shutdown => kind::SHUTDOWN,
+        };
+        (kind, out)
+    }
+
+    /// Decodes a driver frame.
+    pub fn from_frame(frame: &Frame) -> Result<DriverMsg, ClusterError> {
+        let mut r = Reader::new(&frame.payload);
+        let msg = match frame.kind {
+            kind::JOB => {
+                let machine = r.u32()?;
+                let spec = JobSpec::decode(&r.bytes()?)?;
+                DriverMsg::Job { spec, machine }
+            }
+            kind::STEP_BEGIN => DriverMsg::StepBegin {
+                epoch: r.u32()?,
+                superstep: r.u64()?,
+                agg: r.f64()?,
+                checkpoint: r.u8()? != 0,
+            },
+            kind::INBOX => DriverMsg::Inbox {
+                epoch: r.u32()?,
+                superstep: r.u64()?,
+                rows: read_rows(&mut r)?,
+            },
+            kind::RESTORE => DriverMsg::Restore {
+                epoch: r.u32()?,
+                superstep: r.u64()?,
+                state: read_opt_bytes(&mut r)?,
+            },
+            kind::FINISH => DriverMsg::Finish { epoch: r.u32()? },
+            kind::SHUTDOWN => DriverMsg::Shutdown,
+            k => {
+                return Err(ClusterError::corrupt(format!(
+                    "unexpected driver frame kind {k}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(ClusterError::corrupt("trailing bytes in driver frame"));
+        }
+        Ok(msg)
+    }
+}
+
+impl WorkerMsg {
+    /// `(kind, payload)` for framing.
+    pub fn to_frame(&self) -> (u8, Vec<u8>) {
+        let mut out = Vec::new();
+        let kind = match self {
+            WorkerMsg::Join { worker_id, key } => {
+                put_u32(&mut out, *worker_id);
+                put_u64(&mut out, *key);
+                kind::JOIN
+            }
+            WorkerMsg::Ready { epoch, agg } => {
+                put_u32(&mut out, *epoch);
+                put_f64(&mut out, *agg);
+                kind::READY
+            }
+            WorkerMsg::StepData {
+                epoch,
+                superstep,
+                rows,
+            } => {
+                put_u32(&mut out, *epoch);
+                put_u64(&mut out, *superstep);
+                put_rows(&mut out, rows);
+                kind::STEP_DATA
+            }
+            WorkerMsg::StepDone {
+                epoch,
+                superstep,
+                active,
+                agg,
+                snapshot,
+            } => {
+                put_u32(&mut out, *epoch);
+                put_u64(&mut out, *superstep);
+                put_u64(&mut out, *active);
+                put_f64(&mut out, *agg);
+                put_opt_bytes(&mut out, snapshot);
+                kind::STEP_DONE
+            }
+            WorkerMsg::Final { epoch, result } => {
+                put_u32(&mut out, *epoch);
+                put_bytes(&mut out, result);
+                kind::FINAL
+            }
+            WorkerMsg::Heartbeat { epoch } => {
+                put_u32(&mut out, *epoch);
+                kind::HEARTBEAT
+            }
+        };
+        (kind, out)
+    }
+
+    /// Decodes a worker frame.
+    pub fn from_frame(frame: &Frame) -> Result<WorkerMsg, ClusterError> {
+        let mut r = Reader::new(&frame.payload);
+        let msg = match frame.kind {
+            kind::JOIN => WorkerMsg::Join {
+                worker_id: r.u32()?,
+                key: r.u64()?,
+            },
+            kind::READY => WorkerMsg::Ready {
+                epoch: r.u32()?,
+                agg: r.f64()?,
+            },
+            kind::STEP_DATA => WorkerMsg::StepData {
+                epoch: r.u32()?,
+                superstep: r.u64()?,
+                rows: read_rows(&mut r)?,
+            },
+            kind::STEP_DONE => WorkerMsg::StepDone {
+                epoch: r.u32()?,
+                superstep: r.u64()?,
+                active: r.u64()?,
+                agg: r.f64()?,
+                snapshot: read_opt_bytes(&mut r)?,
+            },
+            kind::FINAL => WorkerMsg::Final {
+                epoch: r.u32()?,
+                result: r.bytes()?,
+            },
+            kind::HEARTBEAT => WorkerMsg::Heartbeat { epoch: r.u32()? },
+            k => {
+                return Err(ClusterError::corrupt(format!(
+                    "unexpected worker frame kind {k}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(ClusterError::corrupt("trailing bytes in worker frame"));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppSpec, GraphSource};
+
+    fn round_trip_driver(msg: DriverMsg) {
+        let (kind, payload) = msg.to_frame();
+        let frame = Frame { kind, payload };
+        assert_eq!(DriverMsg::from_frame(&frame).unwrap(), msg);
+    }
+
+    fn round_trip_worker(msg: WorkerMsg) {
+        let (kind, payload) = msg.to_frame();
+        let frame = Frame { kind, payload };
+        assert_eq!(WorkerMsg::from_frame(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn driver_messages_round_trip() {
+        round_trip_driver(DriverMsg::Job {
+            spec: JobSpec {
+                graph: GraphSource::ErdosRenyi {
+                    n: 10,
+                    m: 20,
+                    seed: 1,
+                },
+                scheme: "hash".into(),
+                parts: 2,
+                app: AppSpec::PageRank { iters: 3 },
+                checkpoint_every: Some(2),
+            },
+            machine: 1,
+        });
+        round_trip_driver(DriverMsg::StepBegin {
+            epoch: 1,
+            superstep: 42,
+            agg: 0.125,
+            checkpoint: true,
+        });
+        round_trip_driver(DriverMsg::Inbox {
+            epoch: 0,
+            superstep: 7,
+            rows: vec![
+                RowSeg::default(),
+                RowSeg {
+                    count: 2,
+                    data: vec![1, 2, 3, 4],
+                },
+            ],
+        });
+        round_trip_driver(DriverMsg::Restore {
+            epoch: 2,
+            superstep: 4,
+            state: Some(vec![9, 9]),
+        });
+        round_trip_driver(DriverMsg::Restore {
+            epoch: 3,
+            superstep: 0,
+            state: None,
+        });
+        round_trip_driver(DriverMsg::Finish { epoch: 2 });
+        round_trip_driver(DriverMsg::Shutdown);
+    }
+
+    #[test]
+    fn worker_messages_round_trip() {
+        round_trip_worker(WorkerMsg::Join {
+            worker_id: 3,
+            key: 0xdead_beef,
+        });
+        round_trip_worker(WorkerMsg::Ready {
+            epoch: 0,
+            agg: -1.5,
+        });
+        round_trip_worker(WorkerMsg::StepData {
+            epoch: 1,
+            superstep: 9,
+            rows: vec![RowSeg {
+                count: 1,
+                data: vec![0xff; 12],
+            }],
+        });
+        round_trip_worker(WorkerMsg::StepDone {
+            epoch: 1,
+            superstep: 9,
+            active: 1,
+            agg: 0.25,
+            snapshot: Some(vec![1, 2, 3]),
+        });
+        round_trip_worker(WorkerMsg::Final {
+            epoch: 1,
+            result: vec![4, 5],
+        });
+        round_trip_worker(WorkerMsg::Heartbeat { epoch: 2 });
+    }
+
+    #[test]
+    fn wrong_direction_is_rejected() {
+        let (kind, payload) = WorkerMsg::Heartbeat { epoch: 0 }.to_frame();
+        let frame = Frame { kind, payload };
+        assert!(DriverMsg::from_frame(&frame).is_err());
+        let (kind, payload) = DriverMsg::Shutdown.to_frame();
+        let frame = Frame { kind, payload };
+        assert!(WorkerMsg::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (kind, mut payload) = WorkerMsg::Heartbeat { epoch: 0 }.to_frame();
+        payload.push(0);
+        assert!(WorkerMsg::from_frame(&Frame { kind, payload }).is_err());
+    }
+}

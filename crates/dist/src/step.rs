@@ -1,0 +1,521 @@
+//! Worker-local BSP step logic.
+//!
+//! These state machines replicate the in-process engines' combine order
+//! *exactly* — same dense accumulator, same `touched.sort_unstable()`
+//! before draining, same sender-order inbox concatenation, same apply
+//! order — which is what makes the process backend bit-identical to the
+//! threaded oracle. Any deviation in floating-point evaluation order
+//! here shows up as a digest mismatch in the cross-backend tests.
+
+use crate::error::ClusterError;
+use crate::proto::RowSeg;
+use crate::wire::{decode_all, encode_all, put_u32, put_u64, Reader, Wire};
+use bpart_cluster::Cluster;
+use bpart_engine::{ProgramContext, VertexProgram};
+use bpart_graph::VertexId;
+use bpart_walker::{WalkApp, Walker};
+
+/// One machine's share of an iteration-engine computation
+/// (PageRank-style vertex programs).
+pub struct IterWorker<P: VertexProgram> {
+    program: P,
+    cluster: Cluster,
+    machine: usize,
+    /// Global -> owner-local index (valid for this machine's vertices).
+    local_of: Vec<u32>,
+    values: Vec<P::Value>,
+    active: Vec<bool>,
+    /// Dense per-target accumulator, indexed by global id (scratch).
+    acc: Vec<Option<P::Accum>>,
+    touched: Vec<VertexId>,
+    /// Self-addressed messages from the last scatter, applied after the
+    /// exchanged inbox (mirroring the engine's local-row append).
+    local_row: Vec<(VertexId, P::Accum)>,
+}
+
+impl<P: VertexProgram> IterWorker<P>
+where
+    P::Value: Wire,
+    P::Accum: Wire,
+{
+    /// Fresh worker for `machine`, initialized from the program's
+    /// deterministic initial state.
+    pub fn new(program: P, cluster: Cluster, machine: usize) -> Self {
+        let n = cluster.graph().num_vertices();
+        let mut local_of = vec![0u32; n];
+        for (li, &v) in cluster.local_vertices(machine as u32).iter().enumerate() {
+            local_of[v as usize] = li as u32;
+        }
+        let mut worker = IterWorker {
+            program,
+            cluster,
+            machine,
+            local_of,
+            values: Vec::new(),
+            active: Vec::new(),
+            acc: vec![None; n],
+            touched: Vec::new(),
+            local_row: Vec::new(),
+        };
+        worker.reinit();
+        worker
+    }
+
+    fn reinit(&mut self) {
+        let graph = self.cluster.graph();
+        let members = self.cluster.local_vertices(self.machine as u32);
+        self.values = members
+            .iter()
+            .map(|&v| self.program.init(v, graph))
+            .collect();
+        self.active = members
+            .iter()
+            .map(|&v| self.program.initially_active(v, graph))
+            .collect();
+    }
+
+    /// Clears scatter scratch a partially executed superstep may have
+    /// left behind (engine `rollback` semantics).
+    fn clear_scratch(&mut self) {
+        for &v in &self.touched {
+            self.acc[v as usize] = None;
+        }
+        self.touched.clear();
+        self.local_row.clear();
+    }
+
+    /// This machine's contribution to the global aggregate, summed in
+    /// member order (engine order).
+    pub fn local_aggregate(&self) -> f64 {
+        let graph = self.cluster.graph();
+        self.cluster
+            .local_vertices(self.machine as u32)
+            .iter()
+            .zip(&self.values)
+            .map(|(&v, val)| self.program.aggregate(v, val, graph))
+            .sum::<f64>()
+    }
+
+    /// Scatter phase: produces one encoded row per destination machine.
+    /// The self row is retained internally (it never crosses the wire)
+    /// and its slot in the result is an empty segment.
+    pub fn scatter(&mut self) -> Vec<RowSeg> {
+        let graph = self.cluster.graph();
+        let k = self.cluster.num_machines();
+        let m = self.machine as u32;
+        let members = self.cluster.local_vertices(m);
+        for (li, &u) in members.iter().enumerate() {
+            if !self.active[li] {
+                continue;
+            }
+            let Some(signal) = self.program.scatter(u, &self.values[li], graph) else {
+                continue;
+            };
+            for &v in graph.out_neighbors(u) {
+                accumulate(
+                    &self.program,
+                    &mut self.acc,
+                    &mut self.touched,
+                    v,
+                    signal.clone(),
+                );
+            }
+            if self.program.use_in_edges() {
+                for &v in graph.in_neighbors(u) {
+                    accumulate(
+                        &self.program,
+                        &mut self.acc,
+                        &mut self.touched,
+                        v,
+                        signal.clone(),
+                    );
+                }
+            }
+        }
+        // Drain in sorted-target order — the engine's arena staging order.
+        self.touched.sort_unstable();
+        let mut rows: Vec<Vec<(VertexId, P::Accum)>> = (0..k).map(|_| Vec::new()).collect();
+        for &v in &self.touched {
+            let acc = self.acc[v as usize]
+                .take()
+                .expect("touched implies accumulated");
+            rows[self.cluster.owner(v) as usize].push((v, acc));
+        }
+        self.touched.clear();
+        self.local_row = std::mem::take(&mut rows[self.machine]);
+        rows.into_iter().map(|row| encode_row(&row)).collect()
+    }
+
+    /// Exchange + apply: folds the driver's inbox (sender-order segments,
+    /// own slot empty) plus the retained self row, then applies. Returns
+    /// whether any local vertex stays active.
+    pub fn apply(
+        &mut self,
+        inbox: &[RowSeg],
+        superstep: u64,
+        aggregate: f64,
+    ) -> Result<bool, ClusterError> {
+        for seg in inbox {
+            for (v, a) in decode_row::<P::Accum>(seg)? {
+                accumulate(&self.program, &mut self.acc, &mut self.touched, v, a);
+            }
+        }
+        for (v, a) in std::mem::take(&mut self.local_row) {
+            accumulate(&self.program, &mut self.acc, &mut self.touched, v, a);
+        }
+        let graph = self.cluster.graph();
+        let ctx = ProgramContext {
+            iteration: superstep as usize,
+            num_vertices: graph.num_vertices(),
+            aggregate,
+        };
+        let members = self.cluster.local_vertices(self.machine as u32);
+        let mut any = false;
+        if self.program.apply_to_all() {
+            for (li, &v) in members.iter().enumerate() {
+                let incoming = self.acc[v as usize].take();
+                let active = self
+                    .program
+                    .apply(v, &mut self.values[li], incoming, &ctx, graph);
+                self.active[li] = active;
+                any |= active;
+            }
+            self.touched.clear();
+        } else {
+            self.active.iter_mut().for_each(|a| *a = false);
+            self.touched.sort_unstable();
+            for ti in 0..self.touched.len() {
+                let v = self.touched[ti];
+                let li = self.local_of[v as usize] as usize;
+                let incoming = self.acc[v as usize].take();
+                let active = self
+                    .program
+                    .apply(v, &mut self.values[li], incoming, &ctx, graph);
+                self.active[li] = active;
+                any |= active;
+            }
+            self.touched.clear();
+        }
+        Ok(any)
+    }
+
+    /// Serializes `(values, active)` for a driver-held checkpoint.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.values.len() as u32);
+        encode_all(&self.values, &mut out);
+        for &a in &self.active {
+            out.push(a as u8);
+        }
+        out
+    }
+
+    /// Restores from a snapshot (`None`: the deterministic initial
+    /// state), dropping any partial-superstep scratch.
+    pub fn restore(&mut self, state: Option<&[u8]>) -> Result<(), ClusterError> {
+        self.clear_scratch();
+        match state {
+            None => self.reinit(),
+            Some(bytes) => {
+                let mut r = Reader::new(bytes);
+                let len = r.u32()? as usize;
+                if len != self.cluster.local_vertices(self.machine as u32).len() {
+                    return Err(ClusterError::corrupt("snapshot length mismatch"));
+                }
+                let mut values = Vec::with_capacity(len);
+                for _ in 0..len {
+                    values.push(P::Value::decode(&mut r)?);
+                }
+                let mut active = Vec::with_capacity(len);
+                for _ in 0..len {
+                    active.push(r.u8()? != 0);
+                }
+                if !r.is_empty() {
+                    return Err(ClusterError::corrupt("trailing bytes in snapshot"));
+                }
+                self.values = values;
+                self.active = active;
+            }
+        }
+        Ok(())
+    }
+
+    /// Final local values (owner-local order) for the `Final` frame.
+    pub fn final_result(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_all(&self.values, &mut out);
+        out
+    }
+}
+
+/// Engine `accumulate`: fold into the dense slot, recording first touch.
+#[inline]
+fn accumulate<P: VertexProgram>(
+    program: &P,
+    acc: &mut [Option<P::Accum>],
+    touched: &mut Vec<VertexId>,
+    v: VertexId,
+    a: P::Accum,
+) {
+    match &mut acc[v as usize] {
+        Some(existing) => program.combine(existing, a),
+        slot @ None => {
+            *slot = Some(a);
+            touched.push(v);
+        }
+    }
+}
+
+fn encode_row<T: Wire>(row: &[(VertexId, T)]) -> RowSeg
+where
+    (VertexId, T): Wire,
+{
+    let mut data = Vec::new();
+    encode_all(row, &mut data);
+    RowSeg {
+        count: row.len() as u32,
+        data,
+    }
+}
+
+fn decode_row<T: Wire>(seg: &RowSeg) -> Result<Vec<(VertexId, T)>, ClusterError>
+where
+    (VertexId, T): Wire,
+{
+    let items: Vec<(VertexId, T)> = decode_all(&seg.data)?;
+    if items.len() != seg.count as usize {
+        return Err(ClusterError::corrupt(format!(
+            "row segment count {} does not match payload ({})",
+            seg.count,
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+/// One machine's share of a walk-engine computation.
+pub struct WalkWorker {
+    app: Box<dyn WalkApp>,
+    cluster: Cluster,
+    machine: usize,
+    queue: Vec<Walker>,
+    path_log: Vec<(u64, u32, VertexId)>,
+    kept: Vec<Walker>,
+    seed: u64,
+    per_vertex: u32,
+}
+
+impl WalkWorker {
+    /// Fresh worker: seeds the walkers this machine owns, in global
+    /// walker-id order (engine seeding order).
+    pub fn new(
+        app: Box<dyn WalkApp>,
+        cluster: Cluster,
+        machine: usize,
+        seed: u64,
+        per_vertex: u32,
+    ) -> Self {
+        let mut worker = WalkWorker {
+            app,
+            cluster,
+            machine,
+            queue: Vec::new(),
+            path_log: Vec::new(),
+            kept: Vec::new(),
+            seed,
+            per_vertex,
+        };
+        worker.reinit();
+        worker
+    }
+
+    fn reinit(&mut self) {
+        self.queue.clear();
+        self.path_log.clear();
+        let graph = self.cluster.graph();
+        let n = graph.num_vertices() as u64;
+        for copy in 0..self.per_vertex as u64 {
+            for v in graph.vertices() {
+                if self.cluster.owner(v) as usize != self.machine {
+                    continue;
+                }
+                let id = copy * n + v as u64;
+                let walker = Walker::new(id, v, self.seed);
+                self.path_log.push((id, 0, v));
+                self.queue.push(walker);
+            }
+        }
+    }
+
+    /// Walkers waiting locally (the worker's `active` signal).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// One synchronous step of every queued walker. Returns the number of
+    /// steps executed plus the encoded migration rows (self slot empty —
+    /// surviving local walkers go straight back on the queue).
+    pub fn step(&mut self) -> (u64, Vec<RowSeg>) {
+        let k = self.cluster.num_machines();
+        let m = self.machine as u32;
+        let max_steps = self.app.walk_length();
+        let mut rows: Vec<Vec<Walker>> = (0..k).map(|_| Vec::new()).collect();
+        let mut steps = 0u64;
+        let graph = self.cluster.graph();
+        for mut walker in self.queue.drain(..) {
+            let next = self.app.next(&mut walker, graph);
+            steps += 1;
+            let Some(next) = next else {
+                continue;
+            };
+            walker.advance(next);
+            self.path_log.push((walker.id, walker.step, next));
+            if walker.step >= max_steps {
+                continue;
+            }
+            let dest = self.cluster.owner(next);
+            if dest == m {
+                self.kept.push(walker);
+            } else {
+                rows[dest as usize].push(walker);
+            }
+        }
+        std::mem::swap(&mut self.queue, &mut self.kept);
+        let rows = rows
+            .into_iter()
+            .map(|row| {
+                let mut data = Vec::new();
+                encode_all(&row, &mut data);
+                RowSeg {
+                    count: row.len() as u32,
+                    data,
+                }
+            })
+            .collect();
+        (steps, rows)
+    }
+
+    /// Appends exchanged walkers (sender-order segments) to the queue.
+    pub fn absorb(&mut self, inbox: &[RowSeg]) -> Result<(), ClusterError> {
+        for seg in inbox {
+            let walkers: Vec<Walker> = decode_all(&seg.data)?;
+            if walkers.len() != seg.count as usize {
+                return Err(ClusterError::corrupt("walker segment count mismatch"));
+            }
+            self.queue.extend(walkers);
+        }
+        Ok(())
+    }
+
+    /// Serializes `(queue, path_log)` for a driver-held checkpoint.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.queue.len() as u32);
+        encode_all(&self.queue, &mut out);
+        put_u64(&mut out, self.path_log.len() as u64);
+        encode_all(&self.path_log, &mut out);
+        out
+    }
+
+    /// Restores from a snapshot (`None`: re-seed from the starts),
+    /// dropping any partial-superstep scratch.
+    pub fn restore(&mut self, state: Option<&[u8]>) -> Result<(), ClusterError> {
+        self.kept.clear();
+        match state {
+            None => self.reinit(),
+            Some(bytes) => {
+                let mut r = Reader::new(bytes);
+                let qlen = r.u32()? as usize;
+                let mut queue = Vec::with_capacity(qlen);
+                for _ in 0..qlen {
+                    queue.push(Walker::decode(&mut r)?);
+                }
+                let plen = r.u64()? as usize;
+                let mut path_log = Vec::with_capacity(plen);
+                for _ in 0..plen {
+                    path_log.push(<(u64, u32, VertexId)>::decode(&mut r)?);
+                }
+                if !r.is_empty() {
+                    return Err(ClusterError::corrupt("trailing bytes in walk snapshot"));
+                }
+                self.queue = queue;
+                self.path_log = path_log;
+            }
+        }
+        Ok(())
+    }
+
+    /// Final local path log for the `Final` frame.
+    pub fn final_result(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_all(&self.path_log, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpart_core::{ChunkV, Partitioner};
+    use bpart_engine::apps::PageRank;
+    use bpart_graph::generate;
+    use std::sync::Arc;
+
+    fn cluster(k: usize) -> Cluster {
+        let graph = Arc::new(generate::erdos_renyi(40, 160, 7));
+        let partition = Arc::new(ChunkV.partition(&graph, k));
+        Cluster::new(graph, partition)
+    }
+
+    #[test]
+    fn iter_snapshot_round_trips() {
+        let c = cluster(3);
+        let mut w = IterWorker::new(PageRank::new(5), c, 1);
+        let rows = w.scatter();
+        assert_eq!(rows.len(), 3);
+        // Self slot must be empty on the wire.
+        assert_eq!(rows[1].count, 0);
+        let snap = w.snapshot();
+        let before = w.final_result();
+        w.restore(Some(&snap)).unwrap();
+        assert_eq!(w.final_result(), before);
+        // Restoring the initial state resets values.
+        let mut w2 = IterWorker::new(PageRank::new(5), cluster(3), 1);
+        w2.restore(None).unwrap();
+        assert_eq!(w2.final_result(), before);
+    }
+
+    #[test]
+    fn iter_snapshot_rejects_wrong_length() {
+        let mut w = IterWorker::new(PageRank::new(5), cluster(3), 0);
+        let mut bad = Vec::new();
+        put_u32(&mut bad, 3);
+        assert!(w.restore(Some(&bad)).is_err());
+    }
+
+    #[test]
+    fn walk_worker_seeds_in_global_id_order() {
+        let c = cluster(2);
+        let app = bpart_walker::apps::SimpleRandomWalk::new(4);
+        let w = WalkWorker::new(Box::new(app), c, 0, 11, 2);
+        let mut prev = None;
+        for walker in &w.queue {
+            if let Some(p) = prev {
+                assert!(walker.id > p, "ids must be strictly increasing");
+            }
+            prev = Some(walker.id);
+        }
+        assert!(w.queue_len() > 0);
+        let snap = w.snapshot();
+        let mut w2 = WalkWorker::new(
+            Box::new(bpart_walker::apps::SimpleRandomWalk::new(4)),
+            cluster(2),
+            0,
+            11,
+            2,
+        );
+        w2.restore(Some(&snap)).unwrap();
+        assert_eq!(w2.final_result(), w.final_result());
+        assert_eq!(w2.queue_len(), w.queue_len());
+    }
+}

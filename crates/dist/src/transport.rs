@@ -1,0 +1,259 @@
+//! Socket plumbing: deadline reads, atomic frame writes, bounded
+//! exponential backoff with deterministic jitter, and the worker-side
+//! heartbeat thread.
+
+use crate::error::ClusterError;
+use crate::frame::{self, Frame};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Bounded exponential backoff: `base * 2^attempt` capped at `max`, with
+/// a deterministic ±25% jitter derived from `seed` so retry storms from
+/// several workers never synchronize (and tests replay exactly).
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    /// First delay.
+    pub base: Duration,
+    /// Cap on any single delay.
+    pub max: Duration,
+    /// Jitter seed (vary per worker).
+    pub seed: u64,
+}
+
+impl Backoff {
+    /// Delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16));
+        let capped = exp.min(self.max);
+        // splitmix64 of (seed, attempt) -> jitter factor in [0.75, 1.25).
+        let mut z = self
+            .seed
+            .wrapping_add(attempt as u64)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jitter = 0.75 + (z >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        capped.mul_f64(jitter)
+    }
+}
+
+/// Connects with retries. `on_retry` fires before each sleep (for the
+/// `dist.connect_retries` counter). Gives up after `attempts` tries.
+pub fn connect_with_backoff(
+    addr: &str,
+    attempts: u32,
+    backoff: Backoff,
+    mut on_retry: impl FnMut(u32),
+) -> Result<TcpStream, ClusterError> {
+    let mut last_err = None;
+    for attempt in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                return Ok(stream);
+            }
+            Err(e) => {
+                last_err = Some(e);
+                if attempt + 1 < attempts.max(1) {
+                    on_retry(attempt);
+                    thread::sleep(backoff.delay(attempt));
+                }
+            }
+        }
+    }
+    Err(ClusterError::ConnReset {
+        detail: format!(
+            "connect {addr} failed after {attempts} attempts: {}",
+            last_err.map(|e| e.to_string()).unwrap_or_default()
+        ),
+    })
+}
+
+/// Reads one frame with an absolute deadline. The socket read timeout is
+/// re-armed from the time remaining before every blocking read, so a
+/// peer dribbling bytes cannot stretch the deadline.
+pub fn read_frame_deadline(
+    stream: &mut TcpStream,
+    deadline: Instant,
+    what: &str,
+) -> Result<Frame, ClusterError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(ClusterError::Timeout {
+            what: what.to_string(),
+        });
+    }
+    stream
+        .set_read_timeout(Some(remaining))
+        .map_err(|e| ClusterError::from_io(what, &e))?;
+    match frame::read_frame(stream) {
+        Err(ClusterError::Timeout { .. }) => Err(ClusterError::Timeout {
+            what: what.to_string(),
+        }),
+        other => other,
+    }
+}
+
+/// Reads one frame with no deadline (blocks until the peer sends or
+/// hangs up).
+pub fn read_frame_blocking(stream: &mut TcpStream) -> Result<Frame, ClusterError> {
+    stream.set_read_timeout(None).ok();
+    frame::read_frame(stream)
+}
+
+/// A write handle shareable between a protocol loop and the heartbeat
+/// thread. Each frame goes out as one locked `write_all`, so frames from
+/// the two threads never interleave.
+#[derive(Clone)]
+pub struct SharedWriter {
+    inner: Arc<Mutex<TcpStream>>,
+}
+
+impl SharedWriter {
+    /// Wraps a stream (clone the handle to share it).
+    pub fn new(stream: TcpStream) -> Self {
+        SharedWriter {
+            inner: Arc::new(Mutex::new(stream)),
+        }
+    }
+
+    /// Sends one frame atomically.
+    pub fn send(&self, kind: u8, payload: &[u8]) -> Result<(), ClusterError> {
+        let bytes = frame::encode(kind, payload);
+        let mut stream = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        stream
+            .write_all(&bytes)
+            .and_then(|()| stream.flush())
+            .map_err(|e| ClusterError::from_io("send frame", &e))
+    }
+}
+
+/// Worker-side heartbeat pump: a thread that sends `Heartbeat` frames on
+/// `interval` until stopped. The epoch cell is shared with the protocol
+/// loop so beats always carry the worker's current epoch.
+pub struct HeartbeatPump {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl HeartbeatPump {
+    /// Starts beating on `writer` every `interval`.
+    pub fn start(writer: SharedWriter, epoch: Arc<AtomicU32>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("heartbeat".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    thread::sleep(interval);
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let msg = crate::proto::WorkerMsg::Heartbeat {
+                        epoch: epoch.load(Ordering::Relaxed),
+                    };
+                    let (kind, payload) = msg.to_frame();
+                    if writer.send(kind, &payload).is_err() {
+                        // The driver is gone; the protocol loop will see
+                        // the same failure and exit. Stop beating.
+                        break;
+                    }
+                }
+            })
+            .expect("spawn heartbeat thread");
+        HeartbeatPump {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the pump and joins the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for HeartbeatPump {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn backoff_grows_is_capped_and_jittered() {
+        let b = Backoff {
+            base: Duration::from_millis(10),
+            max: Duration::from_millis(80),
+            seed: 42,
+        };
+        let d0 = b.delay(0);
+        let d3 = b.delay(3);
+        assert!(d0 >= Duration::from_micros(7_500) && d0 < Duration::from_micros(12_500));
+        assert!(d3 > d0);
+        // Far past the cap: jitter keeps it within [0.75, 1.25) * max.
+        let d9 = b.delay(9);
+        assert!(d9 <= Duration::from_millis(100));
+        // Deterministic.
+        assert_eq!(b.delay(5), b.delay(5));
+        // Different seeds de-synchronize.
+        let c = Backoff { seed: 43, ..b };
+        assert_ne!(b.delay(5), c.delay(5));
+    }
+
+    #[test]
+    fn connect_retries_then_gives_up() {
+        // Bind then drop: the port is (very likely) refused afterwards.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut retries = 0;
+        let err = connect_with_backoff(
+            &addr,
+            3,
+            Backoff {
+                base: Duration::from_millis(1),
+                max: Duration::from_millis(2),
+                seed: 1,
+            },
+            |_| retries += 1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::ConnReset { .. }));
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn deadline_read_times_out_against_a_silent_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _peer = thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let started = Instant::now();
+        let err = read_frame_deadline(
+            &mut stream,
+            Instant::now() + Duration::from_millis(80),
+            "test frame",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::Timeout { .. }), "{err}");
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,293 @@
+//! The supervised worker loop: one OS process playing one BSP machine.
+//!
+//! A worker is a frame-driven state machine. It connects to the driver
+//! (with backoff), rebuilds its share of the job from the spec, then
+//! reacts to driver frames: `StepBegin` runs the local compute phase and
+//! ships outgoing rows, `Inbox` completes the superstep, `Restore` rolls
+//! state back (or re-initializes) under a new epoch, `Finish` ships the
+//! local result, `Shutdown` exits. A dedicated thread heartbeats the
+//! whole time, so the driver can tell "dead" from "busy".
+//!
+//! Frames whose epoch is older than the worker's current epoch are
+//! silently discarded — they were sent before a recovery the worker has
+//! already joined.
+
+use crate::error::ClusterError;
+use crate::proto::{DriverMsg, RowSeg, WorkerMsg};
+use crate::spec::{AppSpec, JobSpec};
+use crate::step::{IterWorker, WalkWorker};
+use crate::transport::{
+    connect_with_backoff, read_frame_blocking, Backoff, HeartbeatPump, SharedWriter,
+};
+use bpart_engine::apps::{ConnectedComponents, PageRank};
+use bpart_walker::apps::{DeepWalk, SimpleRandomWalk};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Worker process configuration (parsed from the command line).
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Driver address (`host:port`).
+    pub connect: String,
+    /// Which BSP machine this process plays.
+    pub worker_id: u32,
+    /// Join key handed out by the driver.
+    pub key: u64,
+    /// Heartbeat interval.
+    pub heartbeat: Duration,
+}
+
+/// The app-specific half of the worker, dispatched once at `Job` time.
+enum WorkerApp {
+    PageRank(IterWorker<PageRank>),
+    Cc(IterWorker<ConnectedComponents>),
+    Walk {
+        worker: WalkWorker,
+        /// Steps executed in the superstep currently in flight.
+        steps: u64,
+    },
+}
+
+impl WorkerApp {
+    fn build(spec: &JobSpec, machine: usize) -> Result<WorkerApp, ClusterError> {
+        let cluster = spec.build_cluster()?;
+        Ok(match &spec.app {
+            AppSpec::PageRank { iters } => {
+                WorkerApp::PageRank(IterWorker::new(PageRank::new(*iters), cluster, machine))
+            }
+            AppSpec::ConnectedComponents => {
+                WorkerApp::Cc(IterWorker::new(ConnectedComponents, cluster, machine))
+            }
+            AppSpec::DeepWalk {
+                walk_len,
+                seed,
+                per_vertex,
+            } => WorkerApp::Walk {
+                worker: WalkWorker::new(
+                    Box::new(DeepWalk::new(*walk_len)),
+                    cluster,
+                    machine,
+                    *seed,
+                    *per_vertex,
+                ),
+                steps: 0,
+            },
+            AppSpec::SimpleWalk {
+                walk_len,
+                seed,
+                per_vertex,
+            } => WorkerApp::Walk {
+                worker: WalkWorker::new(
+                    Box::new(SimpleRandomWalk::new(*walk_len)),
+                    cluster,
+                    machine,
+                    *seed,
+                    *per_vertex,
+                ),
+                steps: 0,
+            },
+        })
+    }
+
+    /// The `Ready` aggregate: iteration apps report their local
+    /// aggregate sum, walk apps their queued-walker count.
+    fn ready_agg(&self) -> f64 {
+        match self {
+            WorkerApp::PageRank(w) => w.local_aggregate(),
+            WorkerApp::Cc(w) => w.local_aggregate(),
+            WorkerApp::Walk { worker, .. } => worker.queue_len() as f64,
+        }
+    }
+
+    /// Local compute phase: scatter (iteration) or one walker step each
+    /// (walks). Returns the outgoing rows, self slot empty.
+    fn begin(&mut self) -> Vec<RowSeg> {
+        match self {
+            WorkerApp::PageRank(w) => w.scatter(),
+            WorkerApp::Cc(w) => w.scatter(),
+            WorkerApp::Walk { worker, steps } => {
+                let (n, rows) = worker.step();
+                *steps = n;
+                rows
+            }
+        }
+    }
+
+    /// Completes the superstep with the driver's inbox. Returns
+    /// `(active, agg)` for `StepDone`: iteration apps report
+    /// votes-to-continue and next-superstep aggregate; walk apps report
+    /// their new queue length and the steps just executed.
+    fn finish(
+        &mut self,
+        inbox: &[RowSeg],
+        superstep: u64,
+        aggregate: f64,
+    ) -> Result<(u64, f64), ClusterError> {
+        match self {
+            WorkerApp::PageRank(w) => {
+                let any = w.apply(inbox, superstep, aggregate)?;
+                Ok((any as u64, w.local_aggregate()))
+            }
+            WorkerApp::Cc(w) => {
+                let any = w.apply(inbox, superstep, aggregate)?;
+                Ok((any as u64, w.local_aggregate()))
+            }
+            WorkerApp::Walk { worker, steps } => {
+                worker.absorb(inbox)?;
+                Ok((worker.queue_len() as u64, *steps as f64))
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        match self {
+            WorkerApp::PageRank(w) => w.snapshot(),
+            WorkerApp::Cc(w) => w.snapshot(),
+            WorkerApp::Walk { worker, .. } => worker.snapshot(),
+        }
+    }
+
+    fn restore(&mut self, state: Option<&[u8]>) -> Result<(), ClusterError> {
+        match self {
+            WorkerApp::PageRank(w) => w.restore(state),
+            WorkerApp::Cc(w) => w.restore(state),
+            WorkerApp::Walk { worker, steps } => {
+                *steps = 0;
+                worker.restore(state)
+            }
+        }
+    }
+
+    fn final_result(&self) -> Vec<u8> {
+        match self {
+            WorkerApp::PageRank(w) => w.final_result(),
+            WorkerApp::Cc(w) => w.final_result(),
+            WorkerApp::Walk { worker, .. } => worker.final_result(),
+        }
+    }
+}
+
+/// Runs the worker protocol loop to completion (a clean `Shutdown`) or a
+/// terminal error.
+pub fn run_worker(cfg: WorkerConfig) -> Result<(), ClusterError> {
+    let stream = connect_with_backoff(
+        &cfg.connect,
+        10,
+        Backoff {
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            seed: cfg.worker_id as u64 + 1,
+        },
+        |_| {},
+    )?;
+    let mut reader = stream
+        .try_clone()
+        .map_err(|e| ClusterError::from_io("clone stream", &e))?;
+    let writer = SharedWriter::new(stream);
+
+    let send = |msg: &WorkerMsg| {
+        let (kind, payload) = msg.to_frame();
+        writer.send(kind, &payload)
+    };
+    send(&WorkerMsg::Join {
+        worker_id: cfg.worker_id,
+        key: cfg.key,
+    })?;
+
+    let epoch = Arc::new(AtomicU32::new(0));
+    let _pump = HeartbeatPump::start(writer.clone(), Arc::clone(&epoch), cfg.heartbeat);
+
+    // The job spec arrives first; everything local is rebuilt from it.
+    let frame = read_frame_blocking(&mut reader)?;
+    let DriverMsg::Job { spec, machine } = DriverMsg::from_frame(&frame)? else {
+        return Err(ClusterError::corrupt("expected Job as the first frame"));
+    };
+    let mut app = WorkerApp::build(&spec, machine as usize)?;
+    send(&WorkerMsg::Ready {
+        epoch: epoch.load(Ordering::Relaxed),
+        agg: app.ready_agg(),
+    })?;
+
+    // `(superstep, aggregate, checkpoint)` of the phase in flight —
+    // populated by StepBegin, consumed by the matching Inbox.
+    let mut pending: Option<(u64, f64, bool)> = None;
+
+    loop {
+        let frame = read_frame_blocking(&mut reader)?;
+        let current = epoch.load(Ordering::Relaxed);
+        match DriverMsg::from_frame(&frame)? {
+            DriverMsg::StepBegin {
+                epoch: e,
+                superstep,
+                agg,
+                checkpoint,
+            } => {
+                if e != current {
+                    continue; // stale: sent before a recovery we joined
+                }
+                let rows = app.begin();
+                pending = Some((superstep, agg, checkpoint));
+                send(&WorkerMsg::StepData {
+                    epoch: e,
+                    superstep,
+                    rows,
+                })?;
+            }
+            DriverMsg::Inbox {
+                epoch: e,
+                superstep,
+                rows,
+            } => {
+                if e != current {
+                    continue;
+                }
+                let Some((s, agg, checkpoint)) = pending.take() else {
+                    return Err(ClusterError::corrupt("Inbox without StepBegin"));
+                };
+                if s != superstep {
+                    return Err(ClusterError::corrupt(format!(
+                        "Inbox superstep {superstep} does not match StepBegin {s}"
+                    )));
+                }
+                let (active, agg_out) = app.finish(&rows, superstep, agg)?;
+                let snapshot = checkpoint.then(|| app.snapshot());
+                send(&WorkerMsg::StepDone {
+                    epoch: e,
+                    superstep,
+                    active,
+                    agg: agg_out,
+                    snapshot,
+                })?;
+            }
+            DriverMsg::Restore {
+                epoch: e,
+                superstep: _,
+                state,
+            } => {
+                // Recovery: adopt the new epoch unconditionally and
+                // discard any half-finished superstep.
+                pending = None;
+                app.restore(state.as_deref())?;
+                epoch.store(e, Ordering::Relaxed);
+                send(&WorkerMsg::Ready {
+                    epoch: e,
+                    agg: app.ready_agg(),
+                })?;
+            }
+            DriverMsg::Finish { epoch: e } => {
+                if e != current {
+                    continue;
+                }
+                send(&WorkerMsg::Final {
+                    epoch: e,
+                    result: app.final_result(),
+                })?;
+            }
+            DriverMsg::Shutdown => return Ok(()),
+            DriverMsg::Job { .. } => {
+                return Err(ClusterError::corrupt("unexpected second Job frame"));
+            }
+        }
+    }
+}

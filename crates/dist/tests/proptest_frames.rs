@@ -1,0 +1,92 @@
+//! Property-based tests for the wire frame codec: arbitrary payloads
+//! round-trip, and no truncation or length corruption is ever accepted.
+
+use bpart_dist::error::ClusterError;
+use bpart_dist::frame::{self, HEADER_LEN, MAX_PAYLOAD};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frames_round_trip(
+        kind in 0u8..=255,
+        payload in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let bytes = frame::encode(kind, &payload);
+        prop_assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+
+        // Buffer decode consumes exactly one frame.
+        let (decoded, used) = frame::decode(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded.kind, kind);
+        prop_assert_eq!(&decoded.payload, &payload);
+
+        // Stream decode agrees byte for byte.
+        let mut cursor = &bytes[..];
+        let streamed = frame::read_frame(&mut cursor).unwrap();
+        prop_assert_eq!(streamed.kind, kind);
+        prop_assert_eq!(streamed.payload, payload);
+        prop_assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected(
+        kind in 0u8..=255,
+        payload in prop::collection::vec(0u8..=255, 0..256),
+        cut in 0usize..1 << 16,
+    ) {
+        let bytes = frame::encode(kind, &payload);
+        // Cut strictly before the end: every proper prefix must be
+        // rejected, never silently decoded.
+        let keep = cut % bytes.len();
+        let err = frame::decode(&bytes[..keep]).unwrap_err();
+        prop_assert!(
+            matches!(err, ClusterError::FrameCorrupt { .. }),
+            "prefix of {} bytes decoded or failed oddly: {}", keep, err
+        );
+        // The stream reader maps the same cut to corrupt-or-hangup.
+        let mut cursor = &bytes[..keep];
+        let err = frame::read_frame(&mut cursor).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                ClusterError::FrameCorrupt { .. } | ClusterError::ConnReset { .. }
+            ),
+            "stream prefix of {} bytes: {}", keep, err
+        );
+    }
+
+    #[test]
+    fn corrupt_lengths_are_rejected(
+        kind in 0u8..=255,
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        stated in 0u32..=u32::MAX,
+    ) {
+        let true_len = payload.len() as u32;
+        prop_assume!(stated != true_len);
+        let mut bytes = frame::encode(kind, &payload);
+        bytes[4..8].copy_from_slice(&stated.to_le_bytes());
+        let err = frame::decode(&bytes).unwrap_err();
+        prop_assert!(matches!(err, ClusterError::FrameCorrupt { .. }), "{}", err);
+        if stated > MAX_PAYLOAD {
+            // Impossible lengths must die on header validation — before
+            // any payload-sized allocation.
+            prop_assert!(err.to_string().contains("MAX_PAYLOAD"), "{}", err);
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_bytes_are_rejected(
+        kind in 0u8..=255,
+        payload in prop::collection::vec(0u8..=255, 1..256),
+        at in 0usize..1 << 16,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = frame::encode(kind, &payload);
+        let at = HEADER_LEN + at % payload.len();
+        bytes[at] ^= xor;
+        let err = frame::decode(&bytes).unwrap_err();
+        prop_assert!(matches!(err, ClusterError::FrameCorrupt { .. }), "{}", err);
+    }
+}

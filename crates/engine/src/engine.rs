@@ -410,7 +410,19 @@ impl IterationEngine {
                 debug_assert!(local_rows[m].is_empty());
                 std::mem::swap(&mut row[m], &mut local_rows[m]);
             }
-            router.put_rows(rows);
+            // A malformed hand-back is a deterministic structural bug, so
+            // replay cannot fix it: fail the run, not the process.
+            if let Err(e) = router.put_rows(rows) {
+                let machine = match e {
+                    bpart_cluster::RouterError::DestArity { sender, .. } => sender,
+                    bpart_cluster::RouterError::SenderArity { .. } => 0,
+                };
+                return Err(UnrecoverableFailure {
+                    superstep,
+                    machine,
+                    failure: MachineFailure::Panic(Box::new(e.to_string())),
+                });
+            }
 
             // Link faults act on the wire payload (the combined messages
             // actually staged): drops cost the sender a retransmission,

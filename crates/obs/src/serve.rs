@@ -30,7 +30,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Ceiling on how long one connection may hold the (sequential) accept
+/// thread while *reading* its request. The per-read socket timeout below
+/// resets on every received byte, so without this overall deadline a
+/// client dribbling one byte every few hundred milliseconds could wedge
+/// the server — and the CI obs-serve smoke job — indefinitely.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(2);
 
 use crate::{export, metrics, tracer};
 
@@ -114,16 +121,53 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
     }
 }
 
+/// Reads one `\n`-terminated line, enforcing the connection-wide
+/// deadline between socket reads. `BufReader::read_line` alone is not
+/// enough: it loops internally, and the per-read timeout resets on every
+/// byte, so a slow-drip client could stretch a single line forever.
+fn read_line_deadline(
+    reader: &mut BufReader<TcpStream>,
+    started: Instant,
+    line: &mut String,
+) -> io::Result<usize> {
+    let mut total = 0usize;
+    loop {
+        if started.elapsed() > REQUEST_DEADLINE {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request deadline exceeded",
+            ));
+        }
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(total); // EOF
+        }
+        let (take, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (buf.len(), false),
+        };
+        line.push_str(&String::from_utf8_lossy(&buf[..take]));
+        reader.consume(take);
+        total += take;
+        if done {
+            return Ok(total);
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream) -> io::Result<()> {
+    let started = Instant::now();
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    read_line_deadline(&mut reader, started, &mut request_line)?;
     // Drain headers up to the blank line; nothing in them matters here.
     loop {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 || header.trim_end().is_empty() {
+        if read_line_deadline(&mut reader, started, &mut header)? == 0
+            || header.trim_end().is_empty()
+        {
             break;
         }
     }
@@ -240,6 +284,42 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.contains("405"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_cannot_wedge_the_server() {
+        let server = start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        // One client connects and stalls mid-request-line, dribbling a
+        // byte at a time — each byte resets the socket read timeout, so
+        // only the overall request deadline can unwedge the server.
+        let dribble = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            for _ in 0..40 {
+                if stream.write_all(b"G").is_err() {
+                    break; // server gave up on us — exactly the point
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        // Give the staller time to become the in-flight connection.
+        std::thread::sleep(Duration::from_millis(200));
+
+        // A well-behaved client must still be served well before the
+        // staller's 4s of dribbling would complete.
+        let start_time = Instant::now();
+        let (status, body) = get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+        assert!(
+            start_time.elapsed() < Duration::from_secs(4),
+            "healthz took {:?} behind a stalled client",
+            start_time.elapsed()
+        );
+
+        dribble.join().unwrap();
         server.shutdown();
     }
 

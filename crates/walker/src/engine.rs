@@ -362,7 +362,21 @@ impl WalkEngine {
             total_steps += steps_this_round;
 
             // ---- transmit migrating walkers ------------------------------------
-            router.put_rows(states.iter_mut().map(|s| s.outbox.take_filled()).collect());
+            // A malformed hand-back is a deterministic structural bug, so
+            // replay cannot fix it: fail the run, not the process.
+            if let Err(e) =
+                router.put_rows(states.iter_mut().map(|s| s.outbox.take_filled()).collect())
+            {
+                let machine = match e {
+                    bpart_cluster::RouterError::DestArity { sender, .. } => sender,
+                    bpart_cluster::RouterError::SenderArity { .. } => 0,
+                };
+                return Err(UnrecoverableFailure {
+                    superstep,
+                    machine,
+                    failure: MachineFailure::Panic(Box::new(e.to_string())),
+                });
+            }
 
             // Link faults on walker transmissions: retransmitted drops and
             // deduplicated duplicates cost time, never trajectories.

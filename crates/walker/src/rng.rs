@@ -51,6 +51,20 @@ impl WalkerRng {
     pub fn next_bool(&mut self, probability: f64) -> bool {
         self.next_f64() < probability
     }
+
+    /// The raw 8-byte state, for serializing a walker across a process
+    /// boundary. [`from_bits`](WalkerRng::from_bits) restores the exact
+    /// stream, so a migrated walker's trajectory is unchanged.
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds the RNG from [`to_bits`](WalkerRng::to_bits) output.
+    #[inline]
+    pub fn from_bits(state: u64) -> Self {
+        WalkerRng { state }
+    }
 }
 
 #[inline]
@@ -109,5 +123,15 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn zero_bound_panics() {
         WalkerRng::new(0, 0).next_bounded(0);
+    }
+
+    #[test]
+    fn bits_round_trip_preserves_the_stream() {
+        let mut rng = WalkerRng::new(3, 14);
+        rng.next_u64(); // advance past the initial state
+        let mut copy = WalkerRng::from_bits(rng.to_bits());
+        for _ in 0..8 {
+            assert_eq!(rng.next_u64(), copy.next_u64());
+        }
     }
 }
