@@ -36,7 +36,8 @@ pub enum Command {
     /// `bpart stats GRAPH`
     Stats { graph: String },
     /// `bpart partition GRAPH --parts K [--scheme S] [--out FILE]
-    /// [--threads T] [--buffer-size B] [+ observability flags]`
+    /// [--threads T] [--buffer-size B] [--input-format auto|text|binary|shards]
+    /// [--shard-dir DIR] [--mem-ceiling MB] [+ observability flags]`
     Partition {
         graph: String,
         parts: usize,
@@ -44,7 +45,18 @@ pub enum Command {
         out: Option<String>,
         threads: usize,
         buffer_size: usize,
+        input_format: String,
+        shard_dir: Option<String>,
+        mem_ceiling_mb: Option<u64>,
         obs: ObsFlags,
+    },
+    /// `bpart shard GRAPH --out-dir DIR [--shard-bytes N]` — split a graph
+    /// into the self-describing shard directory the out-of-core pipeline
+    /// streams from.
+    Shard {
+        graph: String,
+        out_dir: String,
+        shard_bytes: u64,
     },
     /// `bpart quality GRAPH PARTITION`
     Quality { graph: String, partition: String },
@@ -168,7 +180,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "partition" => {
             let (flags, positional) = split_flags(&rest)?;
             let graph = match positional.as_slice() {
-                [g] => g.to_string(),
+                [g] => Some(g.to_string()),
+                [] => None,
                 other => {
                     return Err(err(format!(
                         "partition takes one GRAPH argument, got {other:?}"
@@ -186,6 +199,41 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 .to_string();
             let out = get_optional(&flags, "out").map(str::to_string);
             let (threads, buffer_size) = parse_parallel(&flags)?;
+            let input_format = get_optional(&flags, "input-format")
+                .unwrap_or("auto")
+                .to_string();
+            if !["auto", "text", "binary", "shards"].contains(&input_format.as_str()) {
+                return Err(err(format!(
+                    "--input-format must be auto, text, binary, or shards, got {input_format:?}"
+                )));
+            }
+            let shard_dir = get_optional(&flags, "shard-dir").map(str::to_string);
+            if shard_dir.is_some() && input_format != "auto" && input_format != "shards" {
+                return Err(err(format!(
+                    "--shard-dir conflicts with --input-format {input_format}"
+                )));
+            }
+            // With --shard-dir the shard directory *is* the input, so the
+            // GRAPH positional may be omitted.
+            let graph = match (graph, shard_dir.as_deref()) {
+                (Some(g), _) => g,
+                (None, Some(dir)) => dir.to_string(),
+                (None, None) => {
+                    return Err(err("partition needs a GRAPH argument (or --shard-dir)"))
+                }
+            };
+            let mem_ceiling_mb = match get_optional(&flags, "mem-ceiling") {
+                Some(s) => {
+                    let mb: u64 = s
+                        .parse()
+                        .map_err(|_| err(format!("bad --mem-ceiling {s:?}")))?;
+                    if mb == 0 {
+                        return Err(err("--mem-ceiling must be at least 1 (MB)"));
+                    }
+                    Some(mb)
+                }
+                None => None,
+            };
             let obs = parse_obs(&flags);
             check_unknown(
                 &flags,
@@ -195,6 +243,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "out",
                     "threads",
                     "buffer-size",
+                    "input-format",
+                    "shard-dir",
+                    "mem-ceiling",
                     "trace-out",
                     "metrics-out",
                     "serve-addr",
@@ -209,7 +260,40 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 out,
                 threads,
                 buffer_size,
+                input_format,
+                shard_dir,
+                mem_ceiling_mb,
                 obs,
+            })
+        }
+        "shard" => {
+            let (flags, positional) = split_flags(&rest)?;
+            let graph = match positional.as_slice() {
+                [g] => g.to_string(),
+                other => {
+                    return Err(err(format!(
+                        "shard takes one GRAPH argument, got {other:?}"
+                    )))
+                }
+            };
+            let out_dir = get_required(&flags, "out-dir")?;
+            let shard_bytes: u64 = match get_optional(&flags, "shard-bytes") {
+                Some(s) => {
+                    let b = s
+                        .parse()
+                        .map_err(|_| err(format!("bad --shard-bytes {s:?}")))?;
+                    if b == 0 {
+                        return Err(err("--shard-bytes must be at least 1"));
+                    }
+                    b
+                }
+                None => 64 * 1024 * 1024,
+            };
+            check_unknown(&flags, &["out-dir", "shard-bytes"])?;
+            Ok(Command::Shard {
+                graph,
+                out_dir,
+                shard_bytes,
             })
         }
         "run" => {
@@ -593,9 +677,89 @@ mod tests {
                 out: None,
                 threads: 1,
                 buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+                input_format: "auto".into(),
+                shard_dir: None,
+                mem_ceiling_mb: None,
                 obs: ObsFlags::default(),
             }
         );
+    }
+
+    #[test]
+    fn parses_out_of_core_flags() {
+        let cmd = p(&[
+            "partition",
+            "shards/",
+            "--parts",
+            "8",
+            "--scheme",
+            "fennel",
+            "--input-format",
+            "shards",
+            "--mem-ceiling",
+            "512",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Partition {
+                input_format,
+                shard_dir,
+                mem_ceiling_mb,
+                ..
+            } => {
+                assert_eq!(input_format, "shards");
+                assert_eq!(shard_dir, None);
+                assert_eq!(mem_ceiling_mb, Some(512));
+            }
+            other => panic!("expected Partition, got {other:?}"),
+        }
+        let cmd = p(&[
+            "partition", "g.bpgr", "--parts", "4", "--shard-dir", "shards/",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Partition {
+                input_format,
+                shard_dir,
+                ..
+            } => {
+                assert_eq!(input_format, "auto");
+                assert_eq!(shard_dir.as_deref(), Some("shards/"));
+            }
+            other => panic!("expected Partition, got {other:?}"),
+        }
+        // Bad values and conflicting combinations are rejected.
+        assert!(p(&["partition", "g", "--parts", "4", "--input-format", "orc"]).is_err());
+        assert!(p(&["partition", "g", "--parts", "4", "--mem-ceiling", "0"]).is_err());
+        assert!(p(&["partition", "g", "--parts", "4", "--mem-ceiling", "many"]).is_err());
+        assert!(p(&[
+            "partition", "g", "--parts", "4", "--input-format", "text", "--shard-dir", "d"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn parses_shard_command() {
+        assert_eq!(
+            p(&["shard", "g.bpgr", "--out-dir", "shards/"]).unwrap(),
+            Command::Shard {
+                graph: "g.bpgr".into(),
+                out_dir: "shards/".into(),
+                shard_bytes: 64 * 1024 * 1024,
+            }
+        );
+        assert_eq!(
+            p(&["shard", "g.txt", "--out-dir", "d", "--shard-bytes", "4096"]).unwrap(),
+            Command::Shard {
+                graph: "g.txt".into(),
+                out_dir: "d".into(),
+                shard_bytes: 4096,
+            }
+        );
+        assert!(p(&["shard", "--out-dir", "d"]).is_err());
+        assert!(p(&["shard", "g", "h", "--out-dir", "d"]).is_err());
+        assert!(p(&["shard", "g"]).is_err());
+        assert!(p(&["shard", "g", "--out-dir", "d", "--shard-bytes", "0"]).is_err());
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             out,
             threads,
             buffer_size,
+            input_format,
+            shard_dir,
+            mem_ceiling_mb,
             obs,
         } => {
             let exports = ObsExports::begin(obs)?;
@@ -66,11 +69,19 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     threads: *threads,
                     buffer_size: *buffer_size,
                 },
+                input_format,
+                shard_dir.as_deref(),
+                *mem_ceiling_mb,
                 obs,
             )?;
             exports.finish(&mut text)?;
             Ok(text)
         }
+        Command::Shard {
+            graph,
+            out_dir,
+            shard_bytes,
+        } => shard_cmd(graph, out_dir, *shard_bytes),
         Command::Quality { graph, partition } => quality_cmd(graph, partition),
         Command::Convert { src, dst } => convert_cmd(src, dst),
         Command::Run {
@@ -441,14 +452,57 @@ fn stats_cmd(path: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// How the `partition` input resolves after `--input-format`/`--shard-dir`.
+enum PartitionInput {
+    /// Load the whole graph resident (text or binary by extension).
+    Resident,
+    /// Stream out-of-core from this shard directory.
+    Shards(String),
+}
+
+/// Resolves what `partition` should read. `auto` keeps the historical
+/// extension-based behaviour unless the path is a shard directory (or
+/// `--shard-dir` was given); `shards` forces the out-of-core path.
+fn resolve_partition_input(
+    graph_path: &str,
+    input_format: &str,
+    shard_dir: Option<&str>,
+) -> PartitionInput {
+    if let Some(dir) = shard_dir {
+        return PartitionInput::Shards(dir.to_string());
+    }
+    match input_format {
+        "shards" => PartitionInput::Shards(graph_path.to_string()),
+        "auto" if Path::new(graph_path).join(pio::MANIFEST_NAME).is_file() => {
+            PartitionInput::Shards(graph_path.to_string())
+        }
+        _ => PartitionInput::Resident,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn partition_cmd(
     graph_path: &str,
     parts: usize,
     scheme_name: &str,
     out: Option<&str>,
     parallel: ParallelConfig,
+    input_format: &str,
+    shard_dir: Option<&str>,
+    mem_ceiling_mb: Option<u64>,
     obs: &ObsFlags,
 ) -> Result<String, CliError> {
+    let mut ceiling_note = String::new();
+    if let Some(mb) = mem_ceiling_mb {
+        bpart_obs::rss::set_address_space_limit(mb * 1024 * 1024)
+            .map_err(|e| fail(format!("cannot apply --mem-ceiling {mb}: {e}")))?;
+        ceiling_note = format!("  mem ceiling:     {mb} MB (RLIMIT_AS)\n");
+    }
+    if let PartitionInput::Shards(dir) =
+        resolve_partition_input(graph_path, input_format, shard_dir)
+    {
+        return partition_ooc_cmd(&dir, parts, scheme_name, out, parallel, ceiling_note, obs);
+    }
     let graph = load_graph(graph_path)?;
     let scheme = scheme_with_parallel(scheme_name, parallel)?;
     let start = Instant::now();
@@ -456,6 +510,7 @@ fn partition_cmd(
     let elapsed = start.elapsed().as_secs_f64();
     let quality = metrics::quality(&graph, &partition);
     let mut text = render_quality(&quality, &partition, scheme.name());
+    text.push_str(&ceiling_note);
     text.push_str(&format!("  partition time:  {elapsed:.3}s\n"));
     text.push_str(&stream_stats_report(&stats));
     if let Some(path) = out {
@@ -477,6 +532,148 @@ fn partition_cmd(
         write_history(&rec, hpath, &mut text)?;
     }
     Ok(text)
+}
+
+/// Maps a `--scheme` name to its out-of-core equivalent. Only the
+/// streaming schemes have one — the others need the whole graph resident
+/// by construction.
+fn ooc_scheme_by_name(name: &str) -> Result<(bpart_core::OocScheme, &'static str), CliError> {
+    match name {
+        "fennel" => Ok((bpart_core::OocScheme::Fennel, "Fennel (out-of-core)")),
+        "bpart-p1" => Ok((
+            bpart_core::OocScheme::BPartP1 { c: 0.5 },
+            "BPart-P1 (out-of-core)",
+        )),
+        other => Err(fail(format!(
+            "scheme {other:?} has no out-of-core path; shards support: fennel, bpart-p1"
+        ))),
+    }
+}
+
+/// The out-of-core partition path: stream the shard directory through the
+/// staged pipeline, report the same quality lines the resident path does
+/// (cut recomputed by re-streaming the shards — the graph is never
+/// resident), plus per-stage pipeline telemetry.
+fn partition_ooc_cmd(
+    shard_path: &str,
+    parts: usize,
+    scheme_name: &str,
+    out: Option<&str>,
+    parallel: ParallelConfig,
+    ceiling_note: String,
+    obs: &ObsFlags,
+) -> Result<String, CliError> {
+    let (scheme, label) = ooc_scheme_by_name(scheme_name)?;
+    let shards =
+        pio::ShardSet::open(Path::new(shard_path)).map_err(|e| fail(format!("{shard_path}: {e}")))?;
+    let mut config = bpart_core::OocConfig::new(parts, scheme);
+    // `--buffer-size` is the shared memory knob: resident streaming uses
+    // it as the weight-sync window, the pipeline as records per batch.
+    config.batch_vertices = parallel.buffer_size;
+    let start = Instant::now();
+    let outcome = bpart_core::stream_assign_ooc(&shards, &config)
+        .map_err(|e| fail(format!("{shard_path}: {e}")))?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let cut_ratio = bpart_core::ooc_cut_ratio(&shards, &outcome.assignment)
+        .map_err(|e| fail(format!("{shard_path}: {e}")))?;
+
+    let mut text = format!("partition: {label} ({parts} parts)\n");
+    text.push_str(&format!(
+        "  vertex bias:     {:.4}\n",
+        metrics::bias(&outcome.vertex_counts)
+    ));
+    text.push_str(&format!(
+        "  edge bias:       {:.4}\n",
+        metrics::bias(&outcome.edge_counts)
+    ));
+    text.push_str(&format!(
+        "  vertex fairness: {:.4}\n",
+        metrics::jain_fairness(&outcome.vertex_counts)
+    ));
+    text.push_str(&format!(
+        "  edge fairness:   {:.4}\n",
+        metrics::jain_fairness(&outcome.edge_counts)
+    ));
+    text.push_str(&format!("  edge-cut ratio:  {cut_ratio:.4}\n"));
+    text.push_str(&format!("  |V_i|:           {:?}\n", outcome.vertex_counts));
+    text.push_str(&format!("  |E_i|:           {:?}\n", outcome.edge_counts));
+    text.push_str(&ceiling_note);
+    text.push_str(&format!(
+        "  shards:          {} ({} bytes max resident)\n",
+        shards.num_shards(),
+        shards.max_shard_bytes()
+    ));
+    text.push_str(&format!("  partition time:  {elapsed:.3}s\n"));
+    text.push_str(&stream_stats_report(&outcome.stats));
+    text.push_str("  pipeline stages:\n");
+    for s in &outcome.pipeline.stages {
+        text.push_str(&format!(
+            "    {:<7} {} batches, busy {:.3}s, stalls {}/{} (send/recv), peak occupancy {}/{}\n",
+            format!("{}:", s.name),
+            s.batches,
+            s.busy_secs,
+            s.send_stalls,
+            s.recv_stalls,
+            s.max_occupancy,
+            s.channel_capacity
+        ));
+    }
+    if let Some(path) = out {
+        let file = File::create(path).map_err(|e| fail(format!("cannot create {path}: {e}")))?;
+        if is_binary_partition(path) {
+            pio::write_binary_assignment(parts, &outcome.assignment, file)
+                .map_err(|e| fail(format!("{path}: {e}")))?;
+        } else {
+            pio::write_text_assignment(parts, &outcome.assignment, file)
+                .map_err(|e| fail(format!("{path}: {e}")))?;
+        }
+        text.push_str(&format!("  wrote {path}\n"));
+    }
+    if let Some(hpath) = obs.history_out.as_deref() {
+        let mut rec = history_record(obs, "partition-ooc", shard_path, scheme_name, parts, &parallel);
+        rec.set_metric("wall_time_secs", elapsed);
+        rec.set_metric("cut_ratio", cut_ratio);
+        rec.set_metric("vertex_bias", metrics::bias(&outcome.vertex_counts));
+        rec.set_metric("edge_bias", metrics::bias(&outcome.edge_counts));
+        rec.set_metric("throughput_vps", outcome.stats.vertices_per_sec());
+        write_history(&rec, hpath, &mut text)?;
+    }
+    Ok(text)
+}
+
+/// `bpart shard`: split a graph into the out-of-core shard directory.
+/// Binary (`.bpgr`) inputs go through the zero-copy [`io::MappedCsr`]
+/// view so the out-adjacency never becomes resident; text inputs load the
+/// graph first (they have to be parsed anyway).
+fn shard_cmd(graph_path: &str, out_dir: &str, shard_bytes: u64) -> Result<String, CliError> {
+    let start = Instant::now();
+    let (manifest, source) = if is_binary_graph(graph_path) {
+        let csr =
+            io::MappedCsr::open(graph_path).map_err(|e| fail(format!("{graph_path}: {e}")))?;
+        let source = if csr.is_zero_copy() {
+            "mapped zero-copy"
+        } else {
+            "mapped (owned fallback)"
+        };
+        let manifest = pio::write_shards_from_mapped(&csr, Path::new(out_dir), shard_bytes)
+            .map_err(|e| fail(format!("{out_dir}: {e}")))?;
+        (manifest, source)
+    } else {
+        let graph = load_graph(graph_path)?;
+        let manifest = pio::write_shards(&graph, Path::new(out_dir), shard_bytes)
+            .map_err(|e| fail(format!("{out_dir}: {e}")))?;
+        (manifest, "resident")
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    let total: u64 = manifest.shards.iter().map(|s| s.bytes).sum();
+    Ok(format!(
+        "sharded {graph_path} -> {out_dir}: {} vertices, {} edges, {} shards \
+({total} bytes, source {source}, {elapsed:.3}s)\n  partition with: bpart partition \
+--shard-dir {out_dir} --parts K --scheme fennel\n",
+        manifest.n,
+        manifest.m,
+        manifest.shards.len(),
+    ))
 }
 
 fn quality_cmd(graph_path: &str, partition_path: &str) -> Result<String, CliError> {
@@ -848,6 +1045,9 @@ mod tests {
             out: Some(pp.clone()),
             threads: 1,
             buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+            input_format: "auto".into(),
+            shard_dir: None,
+            mem_ceiling_mb: None,
             obs: ObsFlags::default(),
         });
         assert!(out.contains("edge-cut ratio"), "{out}");
@@ -915,6 +1115,9 @@ mod tests {
             out: Some(pp.clone()),
             threads: 1,
             buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+            input_format: "auto".into(),
+            shard_dir: None,
+            mem_ceiling_mb: None,
             obs: ObsFlags::default(),
         });
         let out = runs(Command::Quality {
@@ -943,6 +1146,9 @@ mod tests {
             out: None,
             threads: 2,
             buffer_size: 128,
+            input_format: "auto".into(),
+            shard_dir: None,
+            mem_ceiling_mb: None,
             obs: ObsFlags::default(),
         });
         assert!(out.contains("throughput:"), "{out}");
@@ -972,6 +1178,129 @@ mod tests {
         assert!(out.contains("partition stage:"), "{out}");
         assert!(out.contains("2 threads"), "{out}");
         std::fs::remove_file(graph_path).ok();
+    }
+
+    #[test]
+    fn shard_then_out_of_core_partition_matches_resident_fennel() {
+        let graph_path = tmp("ooc.txt");
+        let bin_path = tmp("ooc.bpgr");
+        let shard_dir = tmp("ooc_shards");
+        let parts_path = tmp("ooc.parts");
+        let gp = graph_path.to_str().unwrap().to_string();
+        let bp = bin_path.to_str().unwrap().to_string();
+        let sd = shard_dir.to_str().unwrap().to_string();
+        let pp = parts_path.to_str().unwrap().to_string();
+
+        runs(Command::Generate {
+            preset: "twitter_like".into(),
+            scale: 0.01,
+            seed: Some(3),
+            out: gp.clone(),
+        });
+        runs(Command::Convert {
+            src: gp.clone(),
+            dst: bp.clone(),
+        });
+        // Binary inputs shard through the mapped zero-copy view.
+        let out = runs(Command::Shard {
+            graph: bp.clone(),
+            out_dir: sd.clone(),
+            shard_bytes: 16 * 1024,
+        });
+        assert!(out.contains("shards"), "{out}");
+        assert!(out.contains("zero-copy"), "{out}");
+
+        // `--input-format auto` detects the shard directory by its
+        // manifest and takes the out-of-core path.
+        let out = runs(Command::Partition {
+            graph: sd.clone(),
+            parts: 4,
+            scheme: "fennel".into(),
+            out: Some(pp.clone()),
+            threads: 1,
+            buffer_size: 256,
+            input_format: "auto".into(),
+            shard_dir: None,
+            mem_ceiling_mb: None,
+            obs: ObsFlags::default(),
+        });
+        assert!(out.contains("out-of-core"), "{out}");
+        assert!(out.contains("pipeline stages:"), "{out}");
+        assert!(out.contains("fetch:"), "{out}");
+
+        // The streamed assignment is bit-identical to the resident run.
+        let graph = load_graph(&gp).unwrap();
+        let resident = scheme_by_name("fennel")
+            .unwrap()
+            .partition(&graph, 4);
+        let written =
+            pio::read_text(&graph, File::open(&parts_path).unwrap()).unwrap();
+        assert_eq!(written.assignment(), resident.assignment());
+
+        // Non-streaming schemes cannot run out-of-core and say so.
+        let e = run(&Command::Partition {
+            graph: sd.clone(),
+            parts: 4,
+            scheme: "bpart".into(),
+            out: None,
+            threads: 1,
+            buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+            input_format: "shards".into(),
+            shard_dir: None,
+            mem_ceiling_mb: None,
+            obs: ObsFlags::default(),
+        })
+        .unwrap_err();
+        assert!(e.to_string().contains("no out-of-core path"), "{e}");
+
+        std::fs::remove_file(graph_path).ok();
+        std::fs::remove_file(bin_path).ok();
+        std::fs::remove_file(parts_path).ok();
+        std::fs::remove_dir_all(shard_dir).ok();
+    }
+
+    #[test]
+    fn out_of_core_partition_emits_history_records() {
+        let graph_path = tmp("oochist.txt");
+        let shard_dir = tmp("oochist_shards");
+        let hist_path = tmp("oochist.json");
+        let gp = graph_path.to_str().unwrap().to_string();
+        let sd = shard_dir.to_str().unwrap().to_string();
+        let hp = hist_path.to_str().unwrap().to_string();
+        runs(Command::Generate {
+            preset: "lj_like".into(),
+            scale: 0.01,
+            seed: Some(5),
+            out: gp.clone(),
+        });
+        // Text inputs shard via the resident loader.
+        runs(Command::Shard {
+            graph: gp.clone(),
+            out_dir: sd.clone(),
+            shard_bytes: 8 * 1024,
+        });
+        runs(Command::Partition {
+            graph: gp.clone(),
+            parts: 4,
+            scheme: "bpart-p1".into(),
+            out: None,
+            threads: 1,
+            buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+            input_format: "shards".into(),
+            shard_dir: Some(sd.clone()),
+            mem_ceiling_mb: None,
+            obs: ObsFlags {
+                history_out: Some(hp.clone()),
+                ..ObsFlags::default()
+            },
+        });
+        let rec = bpart_obs::history::RunRecord::read(Path::new(&hp)).unwrap();
+        assert_eq!(rec.label, "partition-ooc");
+        assert_eq!(rec.config["scheme"], "bpart-p1");
+        assert!(rec.metrics["cut_ratio"] > 0.0, "{rec:?}");
+        std::fs::remove_file(graph_path).ok();
+        std::fs::remove_file(hist_path).ok();
+        std::fs::remove_dir_all(shard_dir).ok();
     }
 
     #[test]
@@ -1201,6 +1530,9 @@ mod tests {
             out: None,
             threads: 1,
             buffer_size: bpart_core::DEFAULT_BUFFER_SIZE,
+            input_format: "auto".into(),
+            shard_dir: None,
+            mem_ceiling_mb: None,
             obs: ObsFlags {
                 history_out: Some(hp.clone()),
                 ..ObsFlags::default()

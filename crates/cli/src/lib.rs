@@ -60,7 +60,9 @@ USAGE:
 [--scale F] [--seed N] --out FILE
   bpart stats     GRAPH
   bpart partition GRAPH --parts K [--scheme NAME] [--out FILE] \
-[--threads T] [--buffer-size B] [+ OBSERVABILITY flags]
+[--threads T] [--buffer-size B] [--input-format auto|text|binary|shards] \
+[--shard-dir DIR] [--mem-ceiling MB] [+ OBSERVABILITY flags]
+  bpart shard     GRAPH --out-dir DIR [--shard-bytes N]
   bpart quality   GRAPH PARTITION
   bpart run       GRAPH --parts K [--scheme NAME] [--app APP] [--iters N] \
 [--walk-len L] [--seed N] [--mode sequential|threaded] \
@@ -99,6 +101,21 @@ DISTRIBUTED MODE (run --backend process):
   death is detected by heartbeat loss, state restores from the last
   driver-held checkpoint (--checkpoint-every), and the run replays to
   the same result. See DESIGN.md §13.
+
+OUT-OF-CORE (partition graphs bigger than RAM; see DESIGN.md §14):
+  bpart shard GRAPH --out-dir DIR   split GRAPH into a self-describing
+                     shard directory (.bpgr inputs convert zero-copy via
+                     mmap); --shard-bytes caps each shard (default 64 MiB)
+                     and thereby the pipeline's largest resident buffer
+  --input-format F   partition input kind: auto (default; detects shard
+                     directories by their manifest), text, binary, shards
+  --shard-dir DIR    stream from this shard directory (implies shards;
+                     the GRAPH positional may then be omitted)
+  --mem-ceiling MB   hard-cap the process address space via RLIMIT_AS —
+                     an out-of-core run that regresses to O(graph) memory
+                     fails instead of quietly succeeding
+  Out-of-core runs support the streaming schemes (fennel, bpart-p1) and
+  produce bit-identical assignments to their in-memory counterparts.
 
 PARALLEL STREAMING (partition/run, streaming schemes only):
   --threads T      scoring worker threads (default 1 = exact sequential)

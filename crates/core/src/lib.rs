@@ -65,6 +65,10 @@ pub use ldg::{Ldg, LdgConfig};
 pub use partition::{PartId, Partition};
 pub use partitioner::Partitioner;
 pub use stream::StreamOrder;
+pub use streaming::pipeline::{
+    ooc_cut_ratio, stream_assign_ooc, OocConfig, OocOutcome, OocScheme, PipelineStats, StageStats,
+    DEFAULT_BATCH_VERTICES, DEFAULT_CHANNEL_CAPACITY,
+};
 pub use streaming::{BufferRecord, ParallelConfig, StreamError, StreamStats, DEFAULT_BUFFER_SIZE};
 
 /// Convenient glob import for examples and the harness.

@@ -37,6 +37,7 @@
 //! capacity overshoot the stale snapshots allowed).
 
 mod buffered;
+pub mod pipeline;
 
 use crate::partition::PartId;
 use bpart_graph::{CsrGraph, VertexId};

@@ -17,16 +17,63 @@
 use crate::{CsrGraph, Edge, GraphError, VertexId};
 use std::io::{BufWriter, Read, Write};
 
-const MAGIC: [u8; 4] = *b"BPGR";
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: [u8; 4] = *b"BPGR";
+pub(crate) const VERSION: u32 = 1;
 
 /// Bytes before the offsets array: magic + version + n + m.
-const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+pub(crate) const HEADER_LEN: usize = 4 + 4 + 8 + 8;
 
 /// Vertex ids are `u32`, so any valid file has `n <= u32::MAX`; a larger
 /// count is corrupt (and would otherwise drive a multi-gigabyte
 /// allocation before the first offset is even read).
-const MAX_VERTICES: u64 = u32::MAX as u64;
+pub(crate) const MAX_VERTICES: u64 = u32::MAX as u64;
+
+/// Validated header of a binary CSR file: `(n, m)` once magic, version,
+/// declared sizes, and the offset invariants have all been checked against
+/// `bytes`. Shared by the owned parser ([`read_binary_bytes`]) and the
+/// out-of-core view ([`super::oocsr::MappedCsr`]), so both accept exactly
+/// the same files.
+pub(crate) fn validate_header(bytes: &[u8]) -> Result<(usize, u64, Vec<u64>), GraphError> {
+    let truncated = || GraphError::Format("truncated header".into());
+    let magic = bytes.get(..4).ok_or_else(truncated)?;
+    if magic != MAGIC {
+        return Err(GraphError::Format(format!("bad magic {magic:?}")));
+    }
+    let version = u32::from_le_bytes(bytes.get(4..8).ok_or_else(truncated)?.try_into().unwrap());
+    if version != VERSION {
+        return Err(GraphError::Format(format!("unsupported version {version}")));
+    }
+    let header = bytes.get(..HEADER_LEN).ok_or_else(truncated)?;
+    let n64 = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    if n64 > MAX_VERTICES {
+        return Err(GraphError::Format(format!(
+            "vertex count {n64} exceeds the u32 id space"
+        )));
+    }
+    let n = n64 as usize;
+    let m64 = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let need = HEADER_LEN as u128 + (n as u128 + 1) * 8 + m64 as u128 * 4;
+    if (bytes.len() as u128) < need {
+        return Err(GraphError::Format(format!(
+            "file too short: {} bytes, header declares n = {n}, m = {m64}",
+            bytes.len()
+        )));
+    }
+    let offsets_end = HEADER_LEN + (n + 1) * 8;
+    let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
+    offsets.extend(
+        bytes[HEADER_LEN..offsets_end]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+    );
+    if offsets.first() != Some(&0) || offsets.last() != Some(&m64) {
+        return Err(GraphError::Format("offset array endpoints invalid".into()));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphError::Format("offsets not monotone".into()));
+    }
+    Ok((n, m64, offsets))
+}
 
 /// Serializes a graph to the binary CSR format.
 pub fn write_binary<W: Write>(graph: &CsrGraph, writer: W) -> Result<(), GraphError> {
@@ -73,48 +120,12 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
 /// bytes after the arrays are ignored, matching the streaming reader's
 /// historical behaviour.
 pub fn read_binary_bytes(bytes: &[u8]) -> Result<CsrGraph, GraphError> {
-    // Field-by-field header checks, so a short buffer still reports the
-    // most specific problem (bad magic beats "truncated").
-    let truncated = || GraphError::Format("truncated header".into());
-    let magic = bytes.get(..4).ok_or_else(truncated)?;
-    if magic != MAGIC {
-        return Err(GraphError::Format(format!("bad magic {magic:?}")));
-    }
-    let version = u32::from_le_bytes(bytes.get(4..8).ok_or_else(truncated)?.try_into().unwrap());
-    if version != VERSION {
-        return Err(GraphError::Format(format!("unsupported version {version}")));
-    }
-    let header = bytes.get(..HEADER_LEN).ok_or_else(truncated)?;
-    let n64 = u64::from_le_bytes(header[8..16].try_into().unwrap());
-    if n64 > MAX_VERTICES {
-        return Err(GraphError::Format(format!(
-            "vertex count {n64} exceeds the u32 id space"
-        )));
-    }
-    let n = n64 as usize;
-    let m64 = u64::from_le_bytes(header[16..24].try_into().unwrap());
-    let need = HEADER_LEN as u128 + (n as u128 + 1) * 8 + m64 as u128 * 4;
-    if (bytes.len() as u128) < need {
-        return Err(GraphError::Format(format!(
-            "file too short: {} bytes, header declares n = {n}, m = {m64}",
-            bytes.len()
-        )));
-    }
+    // Field-by-field header checks (inside `validate_header`), so a short
+    // buffer still reports the most specific problem (bad magic beats
+    // "truncated").
+    let (n, m64, offsets) = validate_header(bytes)?;
     let m = m64 as usize;
-
     let offsets_end = HEADER_LEN + (n + 1) * 8;
-    let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
-    offsets.extend(
-        bytes[HEADER_LEN..offsets_end]
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
-    );
-    if offsets.first() != Some(&0) || offsets.last() != Some(&(m as u64)) {
-        return Err(GraphError::Format("offset array endpoints invalid".into()));
-    }
-    if offsets.windows(2).any(|w| w[0] > w[1]) {
-        return Err(GraphError::Format("offsets not monotone".into()));
-    }
     let mut targets: Vec<VertexId> = Vec::with_capacity(m);
     targets.extend(
         bytes[offsets_end..offsets_end + m * 4]

@@ -5,13 +5,17 @@
 //! * [`binfmt`] — fixed-header little-endian CSR dump for fast reloads.
 //! * [`mmap`] — read-only file mappings backing [`load_binary`]'s
 //!   zero-copy load path (unix only; other platforms use the owned read).
+//! * [`oocsr`] — out-of-core CSR view ([`MappedCsr`]) serving adjacency
+//!   straight from the mapping with `O(n)` resident memory.
 
 pub mod binfmt;
 #[cfg(unix)]
 pub mod mmap;
+pub mod oocsr;
 pub mod text;
 
 pub use binfmt::{read_binary, read_binary_bytes, write_binary};
+pub use oocsr::MappedCsr;
 pub use text::{read_edge_list, write_edge_list};
 
 use crate::{CsrGraph, GraphError};

@@ -65,6 +65,7 @@ pub mod export;
 pub mod history;
 pub mod metrics;
 pub mod report;
+pub mod rss;
 pub mod serve;
 pub mod tracer;
 pub mod validate;

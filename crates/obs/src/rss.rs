@@ -1,0 +1,145 @@
+//! Process resident-memory introspection and limits (linux/unix).
+//!
+//! The out-of-core pipeline's whole claim is a memory bound, so the
+//! `stream_oom` bench and the `oom-gate` CI job need two primitives:
+//!
+//! * **measurement** — [`current_rss_bytes`] and [`peak_rss_bytes`] read
+//!   `VmRSS` / `VmHWM` from `/proc/self/status`. `VmHWM` is the kernel's
+//!   lifetime high-water mark for the process, which is exactly the number
+//!   an OOM killer would have seen — no sampling thread required.
+//! * **enforcement** — [`set_address_space_limit`] applies `RLIMIT_AS` via
+//!   `setrlimit(2)`, so allocations beyond the ceiling *fail* instead of
+//!   merely being frowned upon. An `O(m)` slip in the streaming path then
+//!   aborts the run rather than quietly passing on a big CI host.
+//!
+//! Both degrade gracefully off linux: measurement returns `None` and the
+//! gate falls back to trusting the pipeline's own accounting.
+
+/// Reads a `VmXXX:   1234 kB` line from `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn proc_status_kb(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            let rest = rest.trim_start_matches(':').trim();
+            let kb: u64 = rest.split_whitespace().next()?.parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Current resident set size in bytes (`VmRSS`), if the platform exposes
+/// it.
+pub fn current_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        proc_status_kb("VmRSS")
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Lifetime peak resident set size in bytes (`VmHWM`), if the platform
+/// exposes it. This is a high-water mark: it covers everything the
+/// process has done so far, including phases before the caller started
+/// caring — measure in a child process when isolating one phase.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        proc_status_kb("VmHWM")
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(unix)]
+mod ffi {
+    use std::os::raw::c_int;
+
+    /// `RLIMIT_AS` on linux (and the BSDs we care about): total virtual
+    /// address space.
+    pub const RLIMIT_AS: c_int = 9;
+
+    #[repr(C)]
+    pub struct Rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    extern "C" {
+        pub fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+    }
+}
+
+/// Caps this process's virtual address space at `bytes` (`RLIMIT_AS`).
+///
+/// Irreversible for the life of the process (a process may lower its soft
+/// limit but raising it back above the hard limit requires privilege), so
+/// callers apply it in a dedicated child process — see the `stream_oom`
+/// bench. Returns an error on platforms without `setrlimit` or when the
+/// kernel refuses the value.
+pub fn set_address_space_limit(bytes: u64) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let lim = ffi::Rlimit {
+            rlim_cur: bytes,
+            rlim_max: bytes,
+        };
+        let rc = unsafe { ffi::setrlimit(ffi::RLIMIT_AS, &lim) };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(std::io::Error::last_os_error())
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = bytes;
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "setrlimit is unavailable on this platform",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn rss_readings_are_sane() {
+        let current = current_rss_bytes().expect("VmRSS should exist on linux");
+        let peak = peak_rss_bytes().expect("VmHWM should exist on linux");
+        // A running test binary holds at least a few pages, and the peak
+        // can never undercut the present.
+        assert!(current > 64 * 1024, "current {current}");
+        assert!(peak >= current, "peak {peak} < current {current}");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_tracks_a_big_allocation() {
+        let before = peak_rss_bytes().unwrap();
+        // Touch every page so the allocation actually becomes resident.
+        let size = 64 * 1024 * 1024;
+        let block = vec![1u8; size];
+        assert_eq!(block.iter().map(|&b| b as u64).sum::<u64>(), size as u64);
+        drop(block);
+        let after = peak_rss_bytes().unwrap();
+        assert!(
+            after >= before + size as u64 / 2,
+            "peak did not move: {before} -> {after}"
+        );
+    }
+
+    // set_address_space_limit is deliberately untested in-process: the
+    // limit cannot be raised again and would poison every later test in
+    // this binary. The stream_oom bench exercises it end to end in a
+    // child process.
+}
