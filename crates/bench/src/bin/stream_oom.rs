@@ -112,11 +112,17 @@ struct SchemeRun {
 
 impl SchemeRun {
     fn child_f64(&self, key: &str) -> f64 {
-        self.child.get(key).and_then(|v| v.parse().ok()).unwrap_or(0.0)
+        self.child
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0)
     }
 
     fn child_u64(&self, key: &str) -> u64 {
-        self.child.get(key).and_then(|v| v.parse().ok()).unwrap_or(0)
+        self.child
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
     }
 
     fn identical(&self) -> bool {
@@ -213,7 +219,14 @@ fn main() {
     let _ = std::fs::remove_dir_all(&shards_dir);
 
     let header: Vec<String> = [
-        "scheme", "secs", "v/s", "cut", "oracle", "identical", "peak rss", "ceiling",
+        "scheme",
+        "secs",
+        "v/s",
+        "cut",
+        "oracle",
+        "identical",
+        "peak rss",
+        "ceiling",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -291,10 +304,7 @@ fn main() {
                     "bit_identical",
                     if r.identical() { "true" } else { "false" }.to_string(),
                 ),
-                (
-                    "peak_rss_bytes",
-                    r.child_u64("peak_rss_bytes").to_string(),
-                ),
+                ("peak_rss_bytes", r.child_u64("peak_rss_bytes").to_string()),
                 ("stages", json::array(&stages)),
             ])
         })

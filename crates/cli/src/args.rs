@@ -90,9 +90,11 @@ pub enum Command {
         key: u64,
         heartbeat_ms: u64,
     },
-    /// `bpart report TRACE [--critical-path] [--straggler-factor F]`
+    /// `bpart report TRACE... [--critical-path] [--straggler-factor F]` —
+    /// multiple traces (driver + per-worker exports) merge into one
+    /// aligned view.
     Report {
-        trace: String,
+        traces: Vec<String>,
         critical_path: bool,
         straggler_factor: f64,
     },
@@ -468,16 +470,16 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 None => 2.0,
             };
             check_unknown(&flags, &["straggler-factor"])?;
-            match positional.as_slice() {
-                [trace] => Ok(Command::Report {
-                    trace: trace.to_string(),
-                    critical_path,
-                    straggler_factor,
-                }),
-                other => Err(err(format!(
-                    "report takes one TRACE argument (a JSONL file from --trace-out), got {other:?}"
-                ))),
+            if positional.is_empty() {
+                return Err(err(
+                    "report takes one or more TRACE arguments (JSONL files from --trace-out)",
+                ));
             }
+            Ok(Command::Report {
+                traces: positional.iter().map(|s| s.to_string()).collect(),
+                critical_path,
+                straggler_factor,
+            })
         }
         "obs" => {
             let Some((&"diff", tail)) = rest.split_first() else {
@@ -714,7 +716,12 @@ mod tests {
             other => panic!("expected Partition, got {other:?}"),
         }
         let cmd = p(&[
-            "partition", "g.bpgr", "--parts", "4", "--shard-dir", "shards/",
+            "partition",
+            "g.bpgr",
+            "--parts",
+            "4",
+            "--shard-dir",
+            "shards/",
         ])
         .unwrap();
         match cmd {
@@ -733,7 +740,14 @@ mod tests {
         assert!(p(&["partition", "g", "--parts", "4", "--mem-ceiling", "0"]).is_err());
         assert!(p(&["partition", "g", "--parts", "4", "--mem-ceiling", "many"]).is_err());
         assert!(p(&[
-            "partition", "g", "--parts", "4", "--input-format", "text", "--shard-dir", "d"
+            "partition",
+            "g",
+            "--parts",
+            "4",
+            "--input-format",
+            "text",
+            "--shard-dir",
+            "d"
         ])
         .is_err());
     }
@@ -807,7 +821,7 @@ mod tests {
         assert_eq!(
             p(&["report", "trace.jsonl"]).unwrap(),
             Command::Report {
-                trace: "trace.jsonl".into(),
+                traces: vec!["trace.jsonl".into()],
                 critical_path: false,
                 straggler_factor: 2.0,
             }
@@ -822,13 +836,21 @@ mod tests {
             ])
             .unwrap(),
             Command::Report {
-                trace: "trace.jsonl".into(),
+                traces: vec!["trace.jsonl".into()],
                 critical_path: true,
                 straggler_factor: 1.5,
             }
         );
+        // Multiple traces (driver + worker exports) merge into one view.
+        assert_eq!(
+            p(&["report", "a.jsonl", "b.jsonl", "c.jsonl"]).unwrap(),
+            Command::Report {
+                traces: vec!["a.jsonl".into(), "b.jsonl".into(), "c.jsonl".into()],
+                critical_path: false,
+                straggler_factor: 2.0,
+            }
+        );
         assert!(p(&["report"]).is_err());
-        assert!(p(&["report", "a", "b"]).is_err());
         assert!(p(&["report", "a", "--straggler-factor", "0.5"]).is_err());
         assert!(p(&["report", "a", "--straggler-factor", "nan"]).is_err());
     }

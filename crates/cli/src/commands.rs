@@ -114,6 +114,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     *workers,
                     fault_plan.as_deref(),
                     *checkpoint_every,
+                    obs,
                 )?
             } else {
                 run_cmd(
@@ -153,10 +154,10 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             Ok(String::new())
         }
         Command::Report {
-            trace,
+            traces,
             critical_path,
             straggler_factor,
-        } => report_cmd(trace, *critical_path, *straggler_factor),
+        } => report_cmd(traces, *critical_path, *straggler_factor),
         Command::ObsDiff {
             a,
             b,
@@ -215,6 +216,17 @@ impl<'a> ObsExports<'a> {
         if let Some(path) = self.obs.metrics_out.as_deref() {
             bpart_obs::export::write_metrics_text(Path::new(path))
                 .map_err(|e| fail(format!("cannot write metrics {path}: {e}")))?;
+            // A process-backend run also snapshots every worker's
+            // federated series (worker="N"-labelled), same as /metrics.
+            let federated = bpart_obs::federation::global().prometheus_federated();
+            if !federated.is_empty() {
+                use std::io::Write as _;
+                std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| f.write_all(federated.as_bytes()))
+                    .map_err(|e| fail(format!("cannot append federated metrics {path}: {e}")))?;
+            }
             text.push_str(&format!("  wrote metrics snapshot to {path}\n"));
         }
         if let Some(server) = self.server.take() {
@@ -261,21 +273,47 @@ fn write_history(
     Ok(())
 }
 
+/// Parses one or more trace files (the driver's plus the per-worker
+/// exports of a process-backend run) and merges them into one view
+/// sorted by (already clock-aligned) start timestamps. Span ids in
+/// worker exports live in disjoint per-worker ranges; should a foreign
+/// trace still collide, its ids are shifted past everything seen so far
+/// (intra-file parent links move with them, cross-file links — worker
+/// roots nesting under driver superstep spans — are left untouched).
 fn report_cmd(
-    trace_path: &str,
+    traces: &[String],
     critical_path: bool,
     straggler_factor: f64,
 ) -> Result<String, CliError> {
-    let text = std::fs::read_to_string(trace_path)
-        .map_err(|e| fail(format!("cannot open {trace_path}: {e}")))?;
-    let spans = bpart_obs::report::parse_trace_jsonl(&text)
-        .map_err(|e| fail(format!("{trace_path}: {e}")))?;
+    let mut all: Vec<bpart_obs::report::ParsedSpan> = Vec::new();
+    let mut used: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for trace_path in traces {
+        let text = std::fs::read_to_string(trace_path)
+            .map_err(|e| fail(format!("cannot open {trace_path}: {e}")))?;
+        let mut spans = bpart_obs::report::parse_trace_jsonl(&text)
+            .map_err(|e| fail(format!("{trace_path}: {e}")))?;
+        let file_ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+        if spans.iter().any(|s| used.contains(&s.id)) {
+            let shift = used.iter().next_back().copied().unwrap_or(0) + 1;
+            for s in &mut spans {
+                s.id = s.id.wrapping_add(shift);
+                if let Some(p) = s.parent {
+                    if file_ids.contains(&p) {
+                        s.parent = Some(p.wrapping_add(shift));
+                    }
+                }
+            }
+        }
+        used.extend(spans.iter().map(|s| s.id));
+        all.extend(spans);
+    }
+    all.sort_by_key(|s| (s.start_ns, s.id));
     if critical_path {
-        let cp =
-            bpart_obs::analysis::analyze(&spans).map_err(|e| fail(format!("{trace_path}: {e}")))?;
+        let cp = bpart_obs::analysis::analyze(&all)
+            .map_err(|e| fail(format!("{}: {e}", traces.join(", "))))?;
         Ok(bpart_obs::analysis::render(&cp, straggler_factor))
     } else {
-        Ok(bpart_obs::report::render_report(&spans))
+        Ok(bpart_obs::report::render_report(&all))
     }
 }
 
@@ -564,8 +602,8 @@ fn partition_ooc_cmd(
     obs: &ObsFlags,
 ) -> Result<String, CliError> {
     let (scheme, label) = ooc_scheme_by_name(scheme_name)?;
-    let shards =
-        pio::ShardSet::open(Path::new(shard_path)).map_err(|e| fail(format!("{shard_path}: {e}")))?;
+    let shards = pio::ShardSet::open(Path::new(shard_path))
+        .map_err(|e| fail(format!("{shard_path}: {e}")))?;
     let mut config = bpart_core::OocConfig::new(parts, scheme);
     // `--buffer-size` is the shared memory knob: resident streaming uses
     // it as the weight-sync window, the pipeline as records per batch.
@@ -630,7 +668,14 @@ fn partition_ooc_cmd(
         text.push_str(&format!("  wrote {path}\n"));
     }
     if let Some(hpath) = obs.history_out.as_deref() {
-        let mut rec = history_record(obs, "partition-ooc", shard_path, scheme_name, parts, &parallel);
+        let mut rec = history_record(
+            obs,
+            "partition-ooc",
+            shard_path,
+            scheme_name,
+            parts,
+            &parallel,
+        );
         rec.set_metric("wall_time_secs", elapsed);
         rec.set_metric("cut_ratio", cut_ratio);
         rec.set_metric("vertex_bias", metrics::bias(&outcome.vertex_counts));
@@ -820,8 +865,20 @@ fn run_process_cmd(
     workers: Option<usize>,
     fault_plan: Option<&str>,
     checkpoint_every: Option<usize>,
+    obs: &ObsFlags,
 ) -> Result<String, CliError> {
     use bpart_dist::{AppSpec, Backend, GraphSource, JobSpec, ProcessConfig, ThreadsConfig};
+    use bpart_obs::federation;
+
+    // Cluster-wide observability federation: armed when any obs export
+    // was requested, off otherwise so a plain run ships no telemetry
+    // frames at all (the CI overhead gate measures exactly that).
+    let obs_on = obs.trace_out.is_some()
+        || obs.metrics_out.is_some()
+        || obs.serve_addr.is_some()
+        || obs.history_out.is_some();
+    federation::reset();
+    federation::set_collection_enabled(obs_on);
 
     let workers = workers.unwrap_or(parts);
     if workers != parts {
@@ -876,9 +933,14 @@ fn run_process_cmd(
         .map_err(|e| fail(format!("process backend failed: {e}")))?;
     let wall = run_start.elapsed().as_secs_f64();
     // The oracle runs fault-free: recovery must be transparent, so the
-    // process result has to match the undisturbed simulation.
+    // process result has to match the undisturbed simulation. Tracing is
+    // muted for it — its modelled `cluster.superstep` spans use abstract
+    // time units and would corrupt the measured trace's blame table.
+    let trace_was = bpart_obs::trace_enabled();
+    bpart_obs::set_trace_enabled(false);
     let oracle = bpart_dist::run_job(&spec, &Backend::Threads(ThreadsConfig::default()))
         .map_err(|e| fail(format!("threads oracle failed: {e}")))?;
+    bpart_obs::set_trace_enabled(trace_was);
 
     let identical = out.digest == oracle.digest && out.supersteps == oracle.supersteps;
     let mut text = format!(
@@ -900,6 +962,87 @@ fn run_process_cmd(
         r.worker_deaths, r.recoveries, r.respawns, r.replayed_supersteps, r.link_retries
     ));
     text.push_str(&format!("  wall time:       {wall:.2}s\n"));
+
+    if obs_on {
+        // Measured Fig. 13 per-machine table from the federated worker
+        // reports: real wire wait vs. compute, next to the modelled
+        // numbers the threads backend prints (see EXPERIMENTS.md).
+        let store = federation::global();
+        let steps: Vec<(Vec<f64>, Vec<f64>)> = (0..out.supersteps)
+            .filter_map(|s| store.step_timings(s))
+            .collect();
+        let dead = store.dead_workers();
+        drop(store);
+        if !steps.is_empty() {
+            let measured = bpart_cluster::TelemetrySummary::from_steps(&steps);
+            text.push_str(&format!(
+                "  measured (federated, {} of {} supersteps):\n",
+                steps.len(),
+                out.supersteps
+            ));
+            text.push_str(&format!(
+                "    total time:    {:.3}s (waiting ratio {:.3})\n",
+                measured.total_time, measured.waiting_ratio
+            ));
+            for (m, row) in measured.machines.iter().enumerate() {
+                text.push_str(&format!(
+                    "    m{m}: compute {:.3}s, waiting {:.3}s ({:.1}%)\n",
+                    row.compute,
+                    row.waiting,
+                    row.ratio * 100.0
+                ));
+            }
+        }
+        if dead > 0 {
+            text.push_str(&format!(
+                "  stale workers:   {dead} (last pre-death snapshots retained)\n"
+            ));
+        }
+        // Per-worker trace exports next to the driver's own --trace-out
+        // file; `bpart report` merges them into one aligned view.
+        if let Some(tpath) = obs.trace_out.as_deref() {
+            let store = federation::global();
+            let worker_ids: Vec<u32> = store.workers.keys().copied().collect();
+            drop(store);
+            let mut exported = Vec::new();
+            for w in worker_ids {
+                let Some(jsonl) = federation::global().worker_trace_jsonl(w) else {
+                    continue;
+                };
+                let wpath = format!("{tpath}.worker{w}.jsonl");
+                std::fs::write(&wpath, jsonl)
+                    .map_err(|e| fail(format!("cannot write worker trace {wpath}: {e}")))?;
+                exported.push(wpath);
+            }
+            if !exported.is_empty() {
+                text.push_str(&format!(
+                    "  wrote {} worker traces ({} …; merge with `bpart report {tpath} {}`)\n",
+                    exported.len(),
+                    exported[0],
+                    exported.join(" "),
+                ));
+            }
+        }
+    }
+
+    if let Some(hpath) = obs.history_out.as_deref() {
+        let mut rec = bpart_obs::history::RunRecord::new("run-dist", graph_path);
+        if let Some(rev) = obs.git_rev.as_deref() {
+            rec = rec.with_git_rev(rev);
+        }
+        rec.set_config("scheme", scheme_name);
+        rec.set_config("parts", parts);
+        rec.set_config("app", app);
+        rec.set_config("workers", workers);
+        rec.set_metric("wall_time_secs", wall);
+        rec.set_metric("supersteps", out.supersteps as f64);
+        rec.set_metric("worker_deaths", r.worker_deaths as f64);
+        rec.set_metric("recoveries", r.recoveries as f64);
+        rec.set_metric("replayed_supersteps", r.replayed_supersteps as f64);
+        rec.set_metric("link_retries", r.link_retries as f64);
+        write_history(&rec, hpath, &mut text)?;
+    }
+
     if !identical {
         return Err(fail(format!(
             "process backend diverged from the threads oracle:\n{text}"
@@ -1230,11 +1373,8 @@ mod tests {
 
         // The streamed assignment is bit-identical to the resident run.
         let graph = load_graph(&gp).unwrap();
-        let resident = scheme_by_name("fennel")
-            .unwrap()
-            .partition(&graph, 4);
-        let written =
-            pio::read_text(&graph, File::open(&parts_path).unwrap()).unwrap();
+        let resident = scheme_by_name("fennel").unwrap().partition(&graph, 4);
+        let written = pio::read_text(&graph, File::open(&parts_path).unwrap()).unwrap();
         assert_eq!(written.assignment(), resident.assignment());
 
         // Non-streaming schemes cannot run out-of-core and say so.
@@ -1412,7 +1552,7 @@ mod tests {
 
         // The trace parses and the report shows the instrumented phases.
         let report = runs(Command::Report {
-            trace: tp.clone(),
+            traces: vec![tp.clone()],
             critical_path: false,
             straggler_factor: 2.0,
         });
@@ -1428,7 +1568,7 @@ mod tests {
 
         // Reporting on the metrics file (not JSONL) fails with a line number.
         let e = run(&Command::Report {
-            trace: mp.clone(),
+            traces: vec![mp.clone()],
             critical_path: false,
             straggler_factor: 2.0,
         })
@@ -1552,7 +1692,7 @@ mod tests {
         let bad_path = tmp("bad_trace.jsonl");
         std::fs::write(&bad_path, "not json\n").unwrap();
         let e = run(&Command::Report {
-            trace: bad_path.to_str().unwrap().into(),
+            traces: vec![bad_path.to_str().unwrap().into()],
             critical_path: false,
             straggler_factor: 2.0,
         })
@@ -1561,7 +1701,7 @@ mod tests {
         std::fs::remove_file(bad_path).ok();
 
         let e = run(&Command::Report {
-            trace: "/no/such/trace.jsonl".into(),
+            traces: vec!["/no/such/trace.jsonl".into()],
             critical_path: false,
             straggler_factor: 2.0,
         })

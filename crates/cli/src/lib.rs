@@ -69,7 +69,7 @@ USAGE:
 [--backend threads|process] [--workers N] [--fault-plan SPEC] \
 [--checkpoint-every N] [--threads T] [--buffer-size B] \
 [+ OBSERVABILITY flags]
-  bpart report    TRACE [--critical-path] [--straggler-factor F]
+  bpart report    TRACE... [--critical-path] [--straggler-factor F]
   bpart obs diff  BASELINE CANDIDATE [--watch M1,M2] [--threshold F]
   bpart convert   SRC DST
   bpart schemes
@@ -135,7 +135,9 @@ OBSERVABILITY (partition/run; see DESIGN.md §10–11):
   --git-rev REV       revision stamped into the history record (defaults
                       to $BPART_GIT_REV / $GITHUB_SHA)
 
-REPORT (post-mortem on a --trace-out file):
+REPORT (post-mortem on --trace-out files; several TRACEs — the driver's
+plus the per-worker exports a process-backend run leaves next to it —
+merge into one clock-aligned view):
   --critical-path       per-superstep gating machine + per-machine blame
                         table (paper Fig. 13) instead of the span tree
   --straggler-factor F  flag supersteps whose gating compute exceeds the

@@ -119,7 +119,7 @@ fn report_critical_path_renders_gating_and_blame() {
     .unwrap();
 
     let out = run(&Command::Report {
-        trace: tp.clone(),
+        traces: vec![tp.clone()],
         critical_path: true,
         straggler_factor: 2.0,
     })
@@ -136,7 +136,7 @@ fn report_critical_path_renders_gating_and_blame() {
 
     // Without --critical-path the classic span tree is rendered instead.
     let tree = run(&Command::Report {
-        trace: tp.clone(),
+        traces: vec![tp.clone()],
         critical_path: false,
         straggler_factor: 2.0,
     })

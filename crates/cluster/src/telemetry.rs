@@ -93,6 +93,57 @@ pub struct TelemetrySummary {
     pub machines: Vec<MachineWaiting>,
 }
 
+impl TelemetrySummary {
+    /// Builds the Fig. 13 summary directly from per-superstep
+    /// `(compute, comm)` per-machine timing rows — the *measured* path,
+    /// fed by the process backend's federated worker reports, where
+    /// [`Telemetry::summary`] is the modelled one. Uses the same
+    /// NaN-propagating folds, so measured and modelled tables are
+    /// directly comparable.
+    pub fn from_steps(steps: &[(Vec<f64>, Vec<f64>)]) -> TelemetrySummary {
+        let Some(first) = steps.first() else {
+            return TelemetrySummary::default();
+        };
+        let k = first.0.len();
+        let mut total_time = 0.0;
+        let mut compute = vec![0.0; k];
+        let mut waiting = vec![0.0; k];
+        for (c, m) in steps {
+            let max_c = max_nan_propagating(c);
+            total_time += max_c + max_nan_propagating(m);
+            for (acc, &x) in compute.iter_mut().zip(c) {
+                *acc += x;
+            }
+            for (acc, &x) in waiting.iter_mut().zip(c) {
+                *acc += max_c - x;
+            }
+        }
+        let machines: Vec<MachineWaiting> = waiting
+            .iter()
+            .zip(&compute)
+            .map(|(&w, &c)| MachineWaiting {
+                compute: c,
+                waiting: w,
+                ratio: if total_time > 0.0 {
+                    w / total_time
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        let waiting_ratio = if total_time == 0.0 || k == 0 {
+            0.0
+        } else {
+            waiting.iter().sum::<f64>() / (k as f64 * total_time)
+        };
+        TelemetrySummary {
+            total_time,
+            waiting_ratio,
+            machines,
+        }
+    }
+}
+
 /// Accumulates iteration records for one application run. Interior-mutable
 /// (a `parking_lot` mutex) so threaded executors can record without
 /// plumbing `&mut` through machine closures.
@@ -383,6 +434,28 @@ mod tests {
         let empty = Telemetry::new().summary();
         assert_eq!(empty.total_time, 0.0);
         assert!(empty.machines.is_empty());
+    }
+
+    #[test]
+    fn from_steps_matches_the_recorded_summary() {
+        // The measured path (raw per-step timing rows) must agree with
+        // the modelled path (recorded Telemetry) on identical inputs.
+        let steps = vec![
+            (vec![4.0, 2.0], vec![0.0, 0.0]),
+            (vec![1.0, 3.0], vec![1.0, 1.0]),
+        ];
+        let t = Telemetry::new();
+        for (c, m) in &steps {
+            t.record(rec(c.clone(), m.clone(), vec![0, 0]));
+        }
+        assert_eq!(TelemetrySummary::from_steps(&steps), t.summary());
+        // Empty input yields the empty summary; NaN poisons totals.
+        assert_eq!(
+            TelemetrySummary::from_steps(&[]),
+            TelemetrySummary::default()
+        );
+        let poisoned = TelemetrySummary::from_steps(&[(vec![1.0, f64::NAN], vec![0.0, 0.0])]);
+        assert!(poisoned.total_time.is_nan());
     }
 
     #[test]

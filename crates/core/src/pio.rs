@@ -396,12 +396,18 @@ pub fn write_shards_from_mapped(
             cursor[t as usize] += 1;
         }
     }
-    write_shards_inner(dir, target_shard_bytes, n as u64, csr.num_edges(), |v, buf| {
-        let out = csr.out_neighbors(v);
-        let lo = in_offsets[v as usize] as usize;
-        let hi = in_offsets[v as usize + 1] as usize;
-        append_record(buf, out.len() as u32, out, &in_targets[lo..hi]);
-    })
+    write_shards_inner(
+        dir,
+        target_shard_bytes,
+        n as u64,
+        csr.num_edges(),
+        |v, buf| {
+            let out = csr.out_neighbors(v);
+            let lo = in_offsets[v as usize] as usize;
+            let hi = in_offsets[v as usize + 1] as usize;
+            append_record(buf, out.len() as u32, out, &in_targets[lo..hi]);
+        },
+    )
 }
 
 fn append_record(buf: &mut Vec<u8>, out_deg: u32, out: &[VertexId], inn: &[VertexId]) {
@@ -427,8 +433,8 @@ fn write_shards_inner(
     let mut buf = Vec::new();
 
     let flush = |records: &mut Vec<Vec<u8>>,
-                     shards: &mut Vec<ShardMeta>,
-                     shard_bytes: u64|
+                 shards: &mut Vec<ShardMeta>,
+                 shard_bytes: u64|
      -> Result<(), PioError> {
         let path = dir.join(shard_file_name(shards.len()));
         let mut bw = BufWriter::new(std::fs::File::create(&path)?);
@@ -693,7 +699,12 @@ impl ShardSet {
     /// Largest single shard in bytes — the pipeline's peak per-shard
     /// mapping cost.
     pub fn max_shard_bytes(&self) -> u64 {
-        self.manifest.shards.iter().map(|s| s.bytes).max().unwrap_or(0)
+        self.manifest
+            .shards
+            .iter()
+            .map(|s| s.bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total bytes across all shard files.
@@ -787,10 +798,8 @@ mod tests {
     }
 
     fn temp_shard_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "bpart-pio-shards-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("bpart-pio-shards-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

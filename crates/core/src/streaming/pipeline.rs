@@ -43,7 +43,9 @@
 //! equals the in-memory one exactly — the in-memory path *is* the test
 //! oracle, not an approximation target.
 
-use super::{fennel_alpha, FlatParts, FlatScorer, ParallelConfig, StreamConfig, StreamStats, UNASSIGNED};
+use super::{
+    fennel_alpha, FlatParts, FlatScorer, ParallelConfig, StreamConfig, StreamStats, UNASSIGNED,
+};
 use crate::partition::PartId;
 use crate::pio::{PioError, ShardSet};
 use bpart_graph::VertexId;
@@ -349,10 +351,7 @@ pub fn stream_assign_ooc(shards: &ShardSet, config: &OocConfig) -> Result<OocOut
     let gamma = config.gamma;
     let (load_default, d_bar) = match config.scheme {
         OocScheme::Fennel => (1.1, 1.0),
-        OocScheme::BPartP1 { .. } => (
-            1.15,
-            (m as f64 / n as f64).max(f64::MIN_POSITIVE),
-        ),
+        OocScheme::BPartP1 { .. } => (1.15, (m as f64 / n as f64).max(f64::MIN_POSITIVE)),
     };
     let load = config.load_factor.unwrap_or(load_default);
     let alpha = match config.alpha {
@@ -381,6 +380,7 @@ pub fn stream_assign_ooc(shards: &ShardSet, config: &OocConfig) -> Result<OocOut
     let rep_acct = Arc::clone(&rep_rx.acct);
 
     let start = Instant::now();
+    #[allow(clippy::type_complexity)]
     let result: Result<(Vec<PartId>, Vec<u64>, Vec<u64>, PipelineStats, f64), PioError> =
         std::thread::scope(|scope| {
             // --- fetcher: shard IO → raw batches --------------------------
@@ -667,7 +667,13 @@ pub fn stream_assign_ooc(shards: &ShardSet, config: &OocConfig) -> Result<OocOut
                     ),
                 ],
             };
-            Ok((assignment, vertex_counts, edge_counts, pipeline, commit_busy))
+            Ok((
+                assignment,
+                vertex_counts,
+                edge_counts,
+                pipeline,
+                commit_busy,
+            ))
         });
 
     let (assignment, vertex_counts, edge_counts, pipeline, commit_busy) = result?;
@@ -739,10 +745,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn temp_shards(name: &str, g: &bpart_graph::CsrGraph, target_bytes: u64) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "bpart-pipeline-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("bpart-pipeline-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         write_shards(g, &dir, target_bytes).unwrap();
         dir
@@ -850,8 +854,7 @@ mod tests {
         let k = 5;
         let dir = temp_shards("shapes", &g, 4 * 1024);
         let shards = ShardSet::open(&dir).unwrap();
-        let baseline =
-            stream_assign_ooc(&shards, &OocConfig::new(k, OocScheme::Fennel)).unwrap();
+        let baseline = stream_assign_ooc(&shards, &OocConfig::new(k, OocScheme::Fennel)).unwrap();
         for (batch, cap) in [(1, 1), (7, 2), (1024, 8)] {
             let mut config = OocConfig::new(k, OocScheme::Fennel);
             config.batch_vertices = batch;

@@ -29,11 +29,12 @@ use crate::error::ClusterError;
 use crate::frame;
 use crate::proto::{DriverMsg, RowSeg, WorkerMsg};
 use crate::spec::{AppSpec, JobSpec};
-use crate::transport::read_frame_blocking;
+use crate::transport::{read_frame_blocking, rpc_rtt_histogram};
 use crate::wire::decode_all;
 use crate::{digest_wire, paths_from_log};
 use bpart_cluster::{Cluster, FaultPlan, FaultState, MachineId};
 use bpart_graph::VertexId;
+use bpart_obs::{federation, tracer};
 use std::net::{TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -227,6 +228,15 @@ impl Driver {
             crash_fired,
         };
 
+        if federation::collection_enabled() {
+            // Prime the federated view: the cluster size gates
+            // step_timings completeness, and the structured /healthz
+            // body only replaces the plain "ok" on obs runs.
+            let mut store = federation::global();
+            store.cluster_size = k;
+            store.health_enabled = true;
+        }
+
         for m in 0..k {
             driver.spawn_worker(m)?;
         }
@@ -363,6 +373,14 @@ impl Driver {
                     if matches!(msg, WorkerMsg::Heartbeat { .. }) {
                         continue;
                     }
+                    if matches!(msg, WorkerMsg::ObsReport { .. }) {
+                        // Out-of-band telemetry: absorbed before the
+                        // stale-epoch drop (a pre-death report is still
+                        // the freshest view of that worker) and never
+                        // counted toward any barrier.
+                        self.absorb_obs_report(machine, msg);
+                        continue;
+                    }
                     if msg_epoch(&msg).is_some_and(|e| e != self.epoch) {
                         continue; // pre-recovery leftover
                     }
@@ -403,6 +421,61 @@ impl Driver {
         }
     }
 
+    /// Folds one worker `ObsReport` into the global federation store:
+    /// NTP-style clock sample from the `StepBegin` echo, then the
+    /// snapshot/span/step-timing merge. Decode failures are logged and
+    /// dropped — telemetry must never fail a run.
+    fn absorb_obs_report(&mut self, machine: usize, msg: WorkerMsg) {
+        let WorkerMsg::ObsReport {
+            epoch,
+            seq,
+            superstep,
+            has_step,
+            compute_ns,
+            comm_ns,
+            echo_ns,
+            recv_ns,
+            send_ns,
+            metrics,
+            spans,
+        } = msg
+        else {
+            return;
+        };
+        if !federation::collection_enabled() {
+            return;
+        }
+        let t3 = tracer::now_ns();
+        let mut store = federation::global();
+        if echo_ns != 0 {
+            // t0=echo_ns (driver send), t1=recv_ns (worker recv),
+            // t2=send_ns (worker send), t3 (driver recv):
+            // rtt = (t3-t0) - (t2-t1), offset = ((t1-t0)+(t2-t3))/2
+            // with offset = worker clock - driver clock.
+            let rtt = t3
+                .saturating_sub(echo_ns)
+                .saturating_sub(send_ns.saturating_sub(recv_ns));
+            let offset = ((recv_ns as i128 - echo_ns as i128) + (send_ns as i128 - t3 as i128)) / 2;
+            rpc_rtt_histogram().observe(rtt as f64);
+            store.record_clock_sample(
+                machine as u32,
+                rtt,
+                offset.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+            );
+        }
+        let step = has_step.then_some((
+            superstep,
+            federation::StepSample {
+                epoch,
+                compute_ns,
+                comm_ns,
+            },
+        ));
+        if let Err(e) = store.absorb_report(machine as u32, epoch, seq, step, &metrics, &spans) {
+            eprintln!("bpart: dropped obs report from worker {machine}: {e}");
+        }
+    }
+
     /// Kills, respawns, and restores after `dead` workers were declared
     /// dead at `superstep`. Returns the post-restore `Ready` aggregates
     /// (machine order). Loops if more workers die mid-recovery.
@@ -415,6 +488,14 @@ impl Driver {
         self.stats.replayed_supersteps += superstep.saturating_sub(ckpt.superstep);
         bpart_obs::metrics::counter("dist.replayed_supersteps")
             .add(superstep.saturating_sub(ckpt.superstep));
+        let obs = federation::collection_enabled();
+        if obs {
+            let mut store = federation::global();
+            store.recovering = true;
+            for &m in &dead {
+                store.mark_dead(m as u32);
+            }
+        }
         loop {
             self.epoch += 1;
             self.stats.recoveries += 1;
@@ -466,8 +547,19 @@ impl Driver {
                     _ => None,
                 },
             )? {
-                Collected::Done(aggs) => return Ok(aggs),
+                Collected::Done(aggs) => {
+                    if obs {
+                        federation::global().recovering = false;
+                    }
+                    return Ok(aggs);
+                }
                 Collected::Dead(more) => {
+                    if obs {
+                        let mut store = federation::global();
+                        for &m in &more {
+                            store.mark_dead(m as u32);
+                        }
+                    }
                     dead = more;
                     continue;
                 }
@@ -526,6 +618,9 @@ impl Driver {
         let mut total_steps = 0u64;
         let mut message_walks = 0u64;
         let mut superstep = 0u64;
+        // Highest superstep completed so far — a step at or below it is
+        // a post-rollback replay (stamped on its span for `analyze`).
+        let mut high_water: Option<u64> = None;
         let progress = bpart_obs::metrics::gauge("dist.progress_superstep");
 
         'run: loop {
@@ -543,11 +638,25 @@ impl Driver {
                 .spec
                 .checkpoint_every
                 .is_some_and(|every| every > 0 && (superstep + 1) % every as u64 == 0);
+            let obs = federation::collection_enabled();
+            // One driver-side span per superstep; worker spans nest
+            // under it via the span id noted in the federation store.
+            let mut step_span = obs.then(|| {
+                let mut g = tracer::span("cluster.superstep");
+                g.attr("superstep", superstep.to_string());
+                g.attr("epoch", self.epoch.to_string());
+                if let Some(id) = g.id() {
+                    federation::global().note_superstep_span(self.epoch, superstep, id);
+                }
+                g
+            });
             self.broadcast(&DriverMsg::StepBegin {
                 epoch: self.epoch,
                 superstep,
                 agg,
                 checkpoint: checkpoint_due,
+                sent_ns: tracer::now_ns(),
+                obs,
             });
             self.fire_chaos_kills(superstep);
 
@@ -655,6 +764,23 @@ impl Driver {
                         continue 'run;
                     }
                 };
+
+            // Stamp the superstep span with the federated per-worker
+            // timings (every worker's ObsReport arrived before its
+            // StepDone, so the barrier completing means they are here).
+            if let Some(g) = &mut step_span {
+                let store = federation::global();
+                if let Some((compute, comm)) = store.step_timings(superstep) {
+                    g.attr("compute", bpart_obs::analysis::join_timings(&compute));
+                    g.attr("comm", bpart_obs::analysis::join_timings(&comm));
+                }
+                drop(store);
+                if high_water.is_some_and(|h| superstep <= h) {
+                    g.attr("replay", "true");
+                }
+            }
+            drop(step_span);
+            high_water = Some(high_water.map_or(superstep, |h| h.max(superstep)));
 
             let active_total: u64 = done.iter().map(|(a, _, _)| a).sum();
             let agg_parts: f64 = done.iter().map(|(_, a, _)| a).sum();
@@ -807,7 +933,8 @@ fn msg_epoch(msg: &WorkerMsg) -> Option<u32> {
         | WorkerMsg::StepData { epoch, .. }
         | WorkerMsg::StepDone { epoch, .. }
         | WorkerMsg::Final { epoch, .. }
-        | WorkerMsg::Heartbeat { epoch } => Some(*epoch),
+        | WorkerMsg::Heartbeat { epoch }
+        | WorkerMsg::ObsReport { epoch, .. } => Some(*epoch),
     }
 }
 

@@ -21,7 +21,15 @@
 //! 10    worker -> driver Final     { epoch, result }
 //! 11    worker -> driver Heartbeat { epoch }
 //! 12    driver -> worker Shutdown  { }
+//! 13    worker -> driver ObsReport { epoch, seq, step?, clock echoes, metrics, spans }
 //! ```
+//!
+//! `StepBegin` additionally carries the driver's send timestamp and an
+//! obs-collection flag; `ObsReport` echoes the timestamp back along with
+//! the worker's receive/send clocks, which is what lets the driver run
+//! its NTP-style clock-offset estimate. The metrics/span payloads inside
+//! `ObsReport` are opaque byte blobs owned by `bpart_obs::federation` —
+//! the dist proto only ferries them.
 
 use crate::error::ClusterError;
 use crate::frame::Frame;
@@ -54,6 +62,9 @@ pub mod kind {
     pub const HEARTBEAT: u8 = 11;
     /// Driver tells the worker to exit cleanly.
     pub const SHUTDOWN: u8 = 12;
+    /// Worker ships an observability snapshot (metrics + span delta +
+    /// superstep timings) to the driver's federation store.
+    pub const OBS_REPORT: u8 = 13;
 }
 
 /// One destination's worth of outgoing messages: the element count plus
@@ -125,6 +136,13 @@ pub enum DriverMsg {
         agg: f64,
         /// Attach a state snapshot to `StepDone`.
         checkpoint: bool,
+        /// Driver clock (`tracer::now_ns`) at send; the worker echoes it
+        /// in `ObsReport` for clock-offset estimation.
+        sent_ns: u64,
+        /// Whether obs federation collection is on: workers only enable
+        /// tracing and ship `ObsReport`s when asked, so a no-obs run
+        /// pays no federation overhead.
+        obs: bool,
     },
     /// The worker's concatenated inbox for the superstep.
     Inbox {
@@ -209,6 +227,37 @@ pub enum WorkerMsg {
         /// Recovery epoch.
         epoch: u32,
     },
+    /// Observability snapshot: metrics registry + span-ring delta +
+    /// (optionally) one superstep's compute/exchange timings, plus the
+    /// clock echoes for offset estimation. Sent after each applied
+    /// superstep (before `StepDone`, so the driver absorbs the timings
+    /// ahead of the barrier) and on a low-rate timer so a SIGKILLed
+    /// worker still leaves its last snapshot behind.
+    ObsReport {
+        /// Recovery epoch.
+        epoch: u32,
+        /// Per-worker report sequence number (restarts on respawn; the
+        /// bumped epoch keeps `(epoch, seq)` monotonic).
+        seq: u64,
+        /// Superstep the timing sample belongs to (when `has_step`).
+        superstep: u64,
+        /// Whether this report carries a superstep timing sample.
+        has_step: bool,
+        /// Computation-phase nanoseconds for `superstep`.
+        compute_ns: u64,
+        /// Exchange-phase (StepData send → Inbox arrival) nanoseconds.
+        comm_ns: u64,
+        /// Echo of the driver's `StepBegin.sent_ns` (0 = no sample).
+        echo_ns: u64,
+        /// Worker clock at `StepBegin` receipt.
+        recv_ns: u64,
+        /// Worker clock at report send.
+        send_ns: u64,
+        /// `bpart_obs::federation::MetricsSnapshot` bytes (opaque here).
+        metrics: Vec<u8>,
+        /// `bpart_obs::federation::encode_spans` bytes (opaque here).
+        spans: Vec<u8>,
+    },
 }
 
 impl DriverMsg {
@@ -226,11 +275,15 @@ impl DriverMsg {
                 superstep,
                 agg,
                 checkpoint,
+                sent_ns,
+                obs,
             } => {
                 put_u32(&mut out, *epoch);
                 put_u64(&mut out, *superstep);
                 put_f64(&mut out, *agg);
                 out.push(*checkpoint as u8);
+                put_u64(&mut out, *sent_ns);
+                out.push(*obs as u8);
                 kind::STEP_BEGIN
             }
             DriverMsg::Inbox {
@@ -276,6 +329,8 @@ impl DriverMsg {
                 superstep: r.u64()?,
                 agg: r.f64()?,
                 checkpoint: r.u8()? != 0,
+                sent_ns: r.u64()?,
+                obs: r.u8()? != 0,
             },
             kind::INBOX => DriverMsg::Inbox {
                 epoch: r.u32()?,
@@ -350,6 +405,32 @@ impl WorkerMsg {
                 put_u32(&mut out, *epoch);
                 kind::HEARTBEAT
             }
+            WorkerMsg::ObsReport {
+                epoch,
+                seq,
+                superstep,
+                has_step,
+                compute_ns,
+                comm_ns,
+                echo_ns,
+                recv_ns,
+                send_ns,
+                metrics,
+                spans,
+            } => {
+                put_u32(&mut out, *epoch);
+                put_u64(&mut out, *seq);
+                put_u64(&mut out, *superstep);
+                out.push(*has_step as u8);
+                put_u64(&mut out, *compute_ns);
+                put_u64(&mut out, *comm_ns);
+                put_u64(&mut out, *echo_ns);
+                put_u64(&mut out, *recv_ns);
+                put_u64(&mut out, *send_ns);
+                put_bytes(&mut out, metrics);
+                put_bytes(&mut out, spans);
+                kind::OBS_REPORT
+            }
         };
         (kind, out)
     }
@@ -383,6 +464,19 @@ impl WorkerMsg {
                 result: r.bytes()?,
             },
             kind::HEARTBEAT => WorkerMsg::Heartbeat { epoch: r.u32()? },
+            kind::OBS_REPORT => WorkerMsg::ObsReport {
+                epoch: r.u32()?,
+                seq: r.u64()?,
+                superstep: r.u64()?,
+                has_step: r.u8()? != 0,
+                compute_ns: r.u64()?,
+                comm_ns: r.u64()?,
+                echo_ns: r.u64()?,
+                recv_ns: r.u64()?,
+                send_ns: r.u64()?,
+                metrics: r.bytes()?,
+                spans: r.bytes()?,
+            },
             k => {
                 return Err(ClusterError::corrupt(format!(
                     "unexpected worker frame kind {k}"
@@ -434,6 +528,16 @@ mod tests {
             superstep: 42,
             agg: 0.125,
             checkpoint: true,
+            sent_ns: 123_456_789,
+            obs: true,
+        });
+        round_trip_driver(DriverMsg::StepBegin {
+            epoch: 0,
+            superstep: 0,
+            agg: 0.0,
+            checkpoint: false,
+            sent_ns: 0,
+            obs: false,
         });
         round_trip_driver(DriverMsg::Inbox {
             epoch: 0,
@@ -490,6 +594,32 @@ mod tests {
             result: vec![4, 5],
         });
         round_trip_worker(WorkerMsg::Heartbeat { epoch: 2 });
+        round_trip_worker(WorkerMsg::ObsReport {
+            epoch: 1,
+            seq: 12,
+            superstep: 6,
+            has_step: true,
+            compute_ns: 42_000_000,
+            comm_ns: 9_000_000,
+            echo_ns: 111,
+            recv_ns: 222,
+            send_ns: 333,
+            metrics: vec![1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            spans: vec![1, 0, 0, 0, 0],
+        });
+        round_trip_worker(WorkerMsg::ObsReport {
+            epoch: 0,
+            seq: 1,
+            superstep: 0,
+            has_step: false,
+            compute_ns: 0,
+            comm_ns: 0,
+            echo_ns: 0,
+            recv_ns: 0,
+            send_ns: 0,
+            metrics: Vec::new(),
+            spans: Vec::new(),
+        });
     }
 
     #[test]

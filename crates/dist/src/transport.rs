@@ -7,9 +7,46 @@ use crate::frame::{self, Frame};
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Frame-size distribution (bytes on the wire, header included),
+/// observed on every [`SharedWriter::send`] in both driver and worker
+/// processes. Feeds `/metrics` and the federation view; the handle is
+/// cached so the hot send path never takes the registry lock.
+fn frame_bytes_histogram() -> &'static bpart_obs::metrics::Histogram {
+    static H: OnceLock<&'static bpart_obs::metrics::Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        bpart_obs::metrics::histogram(
+            "dist.frame_bytes",
+            &[
+                64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0,
+            ],
+        )
+    })
+}
+
+/// RPC round-trip-time distribution in nanoseconds, observed by the
+/// driver from `ObsReport` clock echoes. Lives here with the other
+/// transport metrics; also the input to the clock-offset estimator.
+pub fn rpc_rtt_histogram() -> &'static bpart_obs::metrics::Histogram {
+    static H: OnceLock<&'static bpart_obs::metrics::Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        bpart_obs::metrics::histogram(
+            "dist.rpc_rtt_ns",
+            &[
+                50_000.0,
+                200_000.0,
+                1_000_000.0,
+                5_000_000.0,
+                25_000_000.0,
+                100_000_000.0,
+                1_000_000_000.0,
+            ],
+        )
+    })
+}
 
 /// Bounded exponential backoff: `base * 2^attempt` capped at `max`, with
 /// a deterministic ±25% jitter derived from `seed` so retry storms from
@@ -125,6 +162,7 @@ impl SharedWriter {
     /// Sends one frame atomically.
     pub fn send(&self, kind: u8, payload: &[u8]) -> Result<(), ClusterError> {
         let bytes = frame::encode(kind, payload);
+        frame_bytes_histogram().observe(bytes.len() as f64);
         let mut stream = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         stream
             .write_all(&bytes)
@@ -238,6 +276,27 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, ClusterError::ConnReset { .. }));
         assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn shared_writer_observes_frame_size_distribution() {
+        // Satellite: every sent frame lands in the dist.frame_bytes
+        // histogram so the size distribution shows up on /metrics.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let stream = TcpStream::connect(addr).unwrap();
+        let _held = peer.join().unwrap().unwrap();
+        let writer = SharedWriter::new(stream);
+        let before = frame_bytes_histogram().count();
+        writer.send(1, &[0u8; 32]).expect("send");
+        writer.send(1, &vec![0u8; 2048]).expect("send");
+        assert_eq!(frame_bytes_histogram().count(), before + 2);
+        // The RTT histogram registers under its documented name.
+        assert_eq!(rpc_rtt_histogram().bounds().len(), 7);
+        let text = bpart_obs::metrics::prometheus_snapshot();
+        assert!(text.contains("dist_frame_bytes_bucket"), "{text}");
+        assert!(text.contains("dist_rpc_rtt_ns_count"), "{text}");
     }
 
     #[test]

@@ -20,10 +20,18 @@ use crate::transport::{
     connect_with_backoff, read_frame_blocking, Backoff, HeartbeatPump, SharedWriter,
 };
 use bpart_engine::apps::{ConnectedComponents, PageRank};
+use bpart_obs::{federation, tracer};
 use bpart_walker::apps::{DeepWalk, SimpleRandomWalk};
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often the background flush ships an `ObsReport` outside the
+/// superstep cadence. Low-rate by design: its job is to leave a final
+/// snapshot behind if the worker is SIGKILLed mid-superstep, not to
+/// stream metrics.
+const OBS_FLUSH_INTERVAL: Duration = Duration::from_millis(200);
 
 /// Worker process configuration (parsed from the command line).
 #[derive(Clone, Debug)]
@@ -168,6 +176,116 @@ impl WorkerApp {
     }
 }
 
+/// Report position shared between the protocol loop and the flush
+/// thread: the next sequence number and the span-ring watermark (spans
+/// already shipped).
+#[derive(Debug, Default)]
+struct ObsPosition {
+    seq: u64,
+    span_watermark: u64,
+}
+
+/// Builds one `ObsReport` from the current registry/ring state,
+/// advancing the shared position. `step` is
+/// `(superstep, compute_ns, comm_ns)`; `echo` is
+/// `(driver sent_ns, worker recv_ns)` from the last observed
+/// `StepBegin` (zeros = no clock sample).
+fn build_obs_report(
+    position: &Mutex<ObsPosition>,
+    epoch: u32,
+    step: Option<(u64, u64, u64)>,
+    echo: (u64, u64),
+) -> WorkerMsg {
+    let mut pos = position.lock().unwrap_or_else(|e| e.into_inner());
+    pos.seq += 1;
+    let metrics = federation::MetricsSnapshot::capture().to_bytes();
+    let spans = federation::encode_span_delta(&mut pos.span_watermark);
+    let (superstep, compute_ns, comm_ns) = step.unwrap_or((0, 0, 0));
+    WorkerMsg::ObsReport {
+        epoch,
+        seq: pos.seq,
+        superstep,
+        has_step: step.is_some(),
+        compute_ns,
+        comm_ns,
+        echo_ns: echo.0,
+        recv_ns: echo.1,
+        send_ns: tracer::now_ns(),
+        metrics,
+        spans,
+    }
+}
+
+/// Background obs flush: ships a timer-driven `ObsReport` while
+/// collection is enabled, so a worker that later gets SIGKILLed still
+/// left its last snapshot on the driver. Modeled on [`HeartbeatPump`];
+/// stops (and joins) on drop.
+struct ObsFlushPump {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl ObsFlushPump {
+    fn start(
+        writer: SharedWriter,
+        epoch: Arc<AtomicU32>,
+        enabled: Arc<AtomicBool>,
+        position: Arc<Mutex<ObsPosition>>,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("obs-flush".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    thread::sleep(OBS_FLUSH_INTERVAL);
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if !enabled.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let msg =
+                        build_obs_report(&position, epoch.load(Ordering::Relaxed), None, (0, 0));
+                    let (kind, payload) = msg.to_frame();
+                    if writer.send(kind, &payload).is_err() {
+                        break; // driver gone; protocol loop will see it too
+                    }
+                }
+            })
+            .expect("spawn obs-flush thread");
+        ObsFlushPump {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for ObsFlushPump {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            h.join().ok();
+        }
+    }
+}
+
+/// A superstep in flight on the worker: protocol state from `StepBegin`
+/// plus the obs measurements the matching `Inbox` completes.
+struct PendingStep {
+    superstep: u64,
+    agg: f64,
+    checkpoint: bool,
+    /// Compute-phase nanoseconds spent in `begin()` (the rest is added
+    /// by `finish()` at Inbox time).
+    compute_ns: u64,
+    /// When the `StepData` send completed — the exchange wait starts
+    /// here and ends when the `Inbox` arrives.
+    sent_at: Instant,
+    /// `(driver sent_ns, worker recv_ns)` clock echo for this step.
+    echo: (u64, u64),
+}
+
 /// Runs the worker protocol loop to completion (a clean `Shutdown`) or a
 /// terminal error.
 pub fn run_worker(cfg: WorkerConfig) -> Result<(), ClusterError> {
@@ -198,6 +316,18 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<(), ClusterError> {
     let epoch = Arc::new(AtomicU32::new(0));
     let _pump = HeartbeatPump::start(writer.clone(), Arc::clone(&epoch), cfg.heartbeat);
 
+    // Obs federation state: armed by the first `StepBegin` carrying
+    // `obs: true` (the driver's collection flag propagates here), off
+    // otherwise so no-obs runs ship nothing.
+    let obs_enabled = Arc::new(AtomicBool::new(false));
+    let obs_position = Arc::new(Mutex::new(ObsPosition::default()));
+    let _obs_pump = ObsFlushPump::start(
+        writer.clone(),
+        Arc::clone(&epoch),
+        Arc::clone(&obs_enabled),
+        Arc::clone(&obs_position),
+    );
+
     // The job spec arrives first; everything local is rebuilt from it.
     let frame = read_frame_blocking(&mut reader)?;
     let DriverMsg::Job { spec, machine } = DriverMsg::from_frame(&frame)? else {
@@ -209,9 +339,13 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<(), ClusterError> {
         agg: app.ready_agg(),
     })?;
 
-    // `(superstep, aggregate, checkpoint)` of the phase in flight —
-    // populated by StepBegin, consumed by the matching Inbox.
-    let mut pending: Option<(u64, f64, bool)> = None;
+    // The superstep phase in flight — populated by StepBegin, consumed
+    // by the matching Inbox (protocol state plus obs timings).
+    let mut pending: Option<PendingStep> = None;
+    // The `worker.superstep` span open for the pending step. Held
+    // separately so dropping it (closing the span) is explicit before
+    // the span delta is encoded.
+    let mut step_span: Option<tracer::SpanGuard> = None;
 
     loop {
         let frame = read_frame_blocking(&mut reader)?;
@@ -222,17 +356,45 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<(), ClusterError> {
                 superstep,
                 agg,
                 checkpoint,
+                sent_ns,
+                obs,
             } => {
                 if e != current {
                     continue; // stale: sent before a recovery we joined
                 }
+                let recv_ns = tracer::now_ns();
+                if obs && !obs_enabled.load(Ordering::Relaxed) {
+                    // Driver runs with obs on: arm local collection so
+                    // snapshots and span deltas have content to ship.
+                    bpart_obs::set_trace_enabled(true);
+                    obs_enabled.store(true, Ordering::Relaxed);
+                }
+                let mut span = obs.then(|| {
+                    let mut g = tracer::span("worker.superstep");
+                    g.attr("superstep", superstep.to_string());
+                    g.attr("epoch", e.to_string());
+                    g
+                });
+                let compute_started = Instant::now();
                 let rows = app.begin();
-                pending = Some((superstep, agg, checkpoint));
+                let compute_ns = compute_started.elapsed().as_nanos() as u64;
                 send(&WorkerMsg::StepData {
                     epoch: e,
                     superstep,
                     rows,
                 })?;
+                if let Some(g) = &mut span {
+                    g.attr("compute_ns", compute_ns.to_string());
+                }
+                step_span = span;
+                pending = Some(PendingStep {
+                    superstep,
+                    agg,
+                    checkpoint,
+                    compute_ns,
+                    sent_at: Instant::now(),
+                    echo: (sent_ns, recv_ns),
+                });
             }
             DriverMsg::Inbox {
                 epoch: e,
@@ -242,16 +404,40 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<(), ClusterError> {
                 if e != current {
                     continue;
                 }
-                let Some((s, agg, checkpoint)) = pending.take() else {
+                let Some(step) = pending.take() else {
                     return Err(ClusterError::corrupt("Inbox without StepBegin"));
                 };
-                if s != superstep {
+                if step.superstep != superstep {
                     return Err(ClusterError::corrupt(format!(
-                        "Inbox superstep {superstep} does not match StepBegin {s}"
+                        "Inbox superstep {superstep} does not match StepBegin {}",
+                        step.superstep
                     )));
                 }
-                let (active, agg_out) = app.finish(&rows, superstep, agg)?;
-                let snapshot = checkpoint.then(|| app.snapshot());
+                // Exchange wait: from StepData leaving to the inbox
+                // arriving (driver-side shuffle + peer stragglers).
+                let comm_ns = step.sent_at.elapsed().as_nanos() as u64;
+                let finish_started = Instant::now();
+                let (active, agg_out) = app.finish(&rows, superstep, step.agg)?;
+                let compute_ns = step.compute_ns + finish_started.elapsed().as_nanos() as u64;
+                let snapshot = step.checkpoint.then(|| app.snapshot());
+                if obs_enabled.load(Ordering::Relaxed) {
+                    if let Some(g) = &mut step_span {
+                        g.attr("comm_ns", comm_ns.to_string());
+                    }
+                    // Close the span first so this step's own span is
+                    // inside the delta shipped with its report.
+                    step_span = None;
+                    let report = build_obs_report(
+                        &obs_position,
+                        e,
+                        Some((superstep, compute_ns, comm_ns)),
+                        step.echo,
+                    );
+                    // Before StepDone on the same connection, so the
+                    // driver absorbs the timings before the barrier
+                    // completes and can stamp the superstep span.
+                    send(&report)?;
+                }
                 send(&WorkerMsg::StepDone {
                     epoch: e,
                     superstep,
@@ -268,6 +454,7 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<(), ClusterError> {
                 // Recovery: adopt the new epoch unconditionally and
                 // discard any half-finished superstep.
                 pending = None;
+                step_span = None;
                 app.restore(state.as_deref())?;
                 epoch.store(e, Ordering::Relaxed);
                 send(&WorkerMsg::Ready {

@@ -82,9 +82,9 @@ impl MappedCsr {
         let aligned = (targets_bytes.as_ptr() as usize) % std::mem::align_of::<VertexId>() == 0;
         if cfg!(target_endian = "little") && aligned {
             validate_targets(
-                targets_bytes.chunks_exact(4).map(|c| {
-                    VertexId::from_le_bytes(c.try_into().unwrap())
-                }),
+                targets_bytes
+                    .chunks_exact(4)
+                    .map(|c| VertexId::from_le_bytes(c.try_into().unwrap())),
                 n,
             )?;
             return Ok(MappedCsr {
@@ -142,9 +142,7 @@ impl MappedCsr {
                 let bytes = &map[start + lo * 4..start + hi * 4];
                 // Alignment and endianness were checked at open; targets
                 // were range-validated then too.
-                unsafe {
-                    std::slice::from_raw_parts(bytes.as_ptr() as *const VertexId, hi - lo)
-                }
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const VertexId, hi - lo) }
             }
             Backing::Owned(targets) => &targets[lo..hi],
         }
@@ -171,10 +169,7 @@ impl std::fmt::Debug for MappedCsr {
     }
 }
 
-fn validate_targets(
-    targets: impl Iterator<Item = VertexId>,
-    n: usize,
-) -> Result<(), GraphError> {
+fn validate_targets(targets: impl Iterator<Item = VertexId>, n: usize) -> Result<(), GraphError> {
     for t in targets {
         if t as usize >= n {
             return Err(GraphError::Format(format!(

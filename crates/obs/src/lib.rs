@@ -26,6 +26,10 @@
 //!   span tree: which machine gated each superstep, per-machine blame
 //!   (critical-path time vs barrier waiting, the automated Fig. 13
 //!   reading), and straggler detection (`bpart report --critical-path`).
+//! * **Federation** ([`federation`]) — cluster-wide merging of worker
+//!   metrics snapshots, span deltas, and superstep timings for the
+//!   multi-process backend: `worker="N"`-labelled series on `/metrics`,
+//!   clock-offset-aligned trace export, and degraded-aware `/healthz`.
 //! * **Run history** ([`history`]) — one JSON record per run under
 //!   `results/history/`, diffed by `bpart obs diff` with watched-metric
 //!   regression gating.
@@ -62,6 +66,7 @@
 
 pub mod analysis;
 pub mod export;
+pub mod federation;
 pub mod history;
 pub mod metrics;
 pub mod report;

@@ -214,6 +214,45 @@ pub fn histogram(name: &str, bounds: &[f64]) -> &'static Histogram {
     }
 }
 
+/// A point-in-time copy of one registered metric's value, as yielded by
+/// [`visit_metrics`]. Histograms carry their full bucket layout so a
+/// consumer (the federation snapshot) can reproduce the distribution,
+/// not just count/sum.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricView {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        /// Finite ascending upper bounds (the `+Inf` bucket is implicit).
+        bounds: Vec<f64>,
+        /// Non-cumulative per-bucket counts, `bounds.len() + 1` entries.
+        buckets: Vec<u64>,
+        count: u64,
+        sum: f64,
+    },
+}
+
+/// Calls `f` once per registered metric, in name order, with a
+/// point-in-time value snapshot. This is the enumeration surface the
+/// federation layer serialises worker registries through; the registry
+/// lock is held for the duration, so keep `f` cheap.
+pub fn visit_metrics(mut f: impl FnMut(&str, MetricView)) {
+    let reg = registry();
+    for (name, metric) in reg.iter() {
+        let view = match metric {
+            Metric::Counter(c) => MetricView::Counter(c.get()),
+            Metric::Gauge(g) => MetricView::Gauge(g.get()),
+            Metric::Histogram(h) => MetricView::Histogram {
+                bounds: h.bounds().to_vec(),
+                buckets: h.bucket_counts(),
+                count: h.count(),
+                sum: h.sum(),
+            },
+        };
+        f(name, view);
+    }
+}
+
 /// Sanitises a dotted metric name for the Prometheus exposition format
 /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other illegal bytes become `_`.
 pub fn sanitize_name(name: &str) -> String {
@@ -462,6 +501,32 @@ mod tests {
         // Shape: one object with the three kind groups.
         assert!(text.starts_with("{\"counters\":{"), "{text}");
         assert!(text.ends_with("}}"), "{text}");
+    }
+
+    #[test]
+    fn visit_metrics_yields_point_in_time_views() {
+        counter("t.visit.count").add(9);
+        gauge("t.visit.gauge").set(0.5);
+        let h = histogram("t.visit.hist", &[2.0]);
+        h.observe(1.0);
+        h.observe(5.0);
+        let mut seen = std::collections::BTreeMap::new();
+        visit_metrics(|name, view| {
+            if name.starts_with("t.visit.") {
+                seen.insert(name.to_string(), view);
+            }
+        });
+        assert_eq!(seen["t.visit.count"], MetricView::Counter(9));
+        assert_eq!(seen["t.visit.gauge"], MetricView::Gauge(0.5));
+        assert_eq!(
+            seen["t.visit.hist"],
+            MetricView::Histogram {
+                bounds: vec![2.0],
+                buckets: vec![1, 1],
+                count: 2,
+                sum: 6.0,
+            }
+        );
     }
 
     #[test]

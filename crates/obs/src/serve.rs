@@ -9,10 +9,11 @@
 //!
 //! | path        | body                                                  |
 //! |-------------|-------------------------------------------------------|
-//! | `/healthz`  | `ok` — liveness probe                                 |
-//! | `/metrics`  | the Prometheus text exposition (`prometheus_snapshot`)|
+//! | `/healthz`  | `ok` liveness probe; structured `ok`/`degraded` JSON  |
+//! |             | (dead workers, recovery flag) on distributed drivers  |
+//! | `/metrics`  | Prometheus exposition + federated `worker="N"` series |
 //! | `/spans`    | the current tracer ring as JSONL (`trace_to_jsonl`)   |
-//! | `/progress` | the metrics registry as JSON (`json_snapshot`)        |
+//! | `/progress` | registry JSON + per-worker `"workers"` section        |
 //!
 //! The responder is hand-rolled on purpose: the crate's zero-dependency
 //! rule (see the crate docs) covers the serving layer too, and the
@@ -39,7 +40,34 @@ use std::time::{Duration, Instant};
 /// the server — and the CI obs-serve smoke job — indefinitely.
 const REQUEST_DEADLINE: Duration = Duration::from_secs(2);
 
-use crate::{export, metrics, tracer};
+use crate::{export, federation, metrics, tracer};
+
+/// The `/metrics` body: this process's own registry, plus — when a
+/// distributed driver has absorbed worker reports — every federated
+/// worker series with its `worker="N"` label appended after.
+fn federated_metrics_body() -> String {
+    let mut body = metrics::prometheus_snapshot();
+    let federated = federation::global().prometheus_federated();
+    body.push_str(&federated);
+    body
+}
+
+/// The `/progress` body: the local registry JSON, with a `"workers"`
+/// section spliced in when the federation store has worker entries.
+fn federated_progress_body() -> String {
+    let body = metrics::json_snapshot();
+    let store = federation::global();
+    if store.workers.is_empty() {
+        return body;
+    }
+    let workers = store.progress_json_workers();
+    drop(store);
+    // json_snapshot always ends with `}`; splice before it.
+    match body.strip_suffix('}') {
+        Some(head) => format!("{head},\"workers\":{workers}}}"),
+        None => body,
+    }
+}
 
 /// A running monitoring server; shut it down explicitly with
 /// [`shutdown`](ServeHandle::shutdown) (dropping the handle also stops
@@ -182,18 +210,26 @@ fn handle_connection(stream: TcpStream) -> io::Result<()> {
         )
     } else {
         match path {
-            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/healthz" => {
+                let body = federation::global().health_body();
+                let content_type = if body.starts_with('{') {
+                    "application/json"
+                } else {
+                    "text/plain; charset=utf-8"
+                };
+                ("200 OK", content_type, body)
+            }
             "/metrics" => (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
-                metrics::prometheus_snapshot(),
+                federated_metrics_body(),
             ),
             "/spans" => (
                 "200 OK",
                 "application/x-ndjson",
                 export::trace_to_jsonl(&tracer::snapshot()),
             ),
-            "/progress" => ("200 OK", "application/json", metrics::json_snapshot()),
+            "/progress" => ("200 OK", "application/json", federated_progress_body()),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
@@ -274,6 +310,44 @@ mod tests {
         // The port is released: a fresh bind to the same address works.
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok(), "port still held after shutdown");
+    }
+
+    #[test]
+    fn federated_worker_series_appear_on_metrics_and_progress() {
+        let server = start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        // Absorb-and-scrape in a retry loop: the federation store is
+        // process-global and another test resets it concurrently.
+        let mut seen = false;
+        for _ in 0..5 {
+            {
+                let mut snap = federation::MetricsSnapshot::default();
+                snap.counters.insert("t.serve.fed".to_string(), 11);
+                federation::global()
+                    .absorb_report(
+                        7,
+                        0,
+                        1,
+                        None,
+                        &snap.to_bytes(),
+                        &federation::encode_spans(&[]),
+                    )
+                    .expect("absorb");
+            }
+            let (status, metrics_body) = get(addr, "/metrics");
+            assert!(status.contains("200"), "{status}");
+            let (status, progress_body) = get(addr, "/progress");
+            assert!(status.contains("200"), "{status}");
+            if metrics_body.contains("t_serve_fed{worker=\"7\"} 11")
+                && progress_body.contains("\"workers\"")
+                && progress_body.contains("\"t.serve.fed\":11")
+            {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "federated series never appeared on the endpoints");
+        server.shutdown();
     }
 
     #[test]

@@ -96,6 +96,17 @@ pub fn dropped_spans() -> u64 {
     state().dropped.load(Ordering::Relaxed)
 }
 
+/// Nanoseconds since the tracer epoch (initialising the epoch on first
+/// use). This is the clock `start_ns` is measured on, so timestamps taken
+/// here are directly comparable to recorded spans — the federation layer
+/// uses it for its clock-offset echoes so rebased worker spans land on
+/// the driver's span timeline.
+pub fn now_ns() -> u64 {
+    let s = state();
+    let epoch = *s.epoch.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
 /// Discards all recorded spans and resets the eviction counter. Call
 /// before a run whose trace will be exported, so the file covers exactly
 /// that run.

@@ -1,0 +1,154 @@
+//! Property tests for the federation merge algebra.
+//!
+//! The driver merges worker `ObsReport`s in whatever order the network
+//! delivers them, retries can duplicate them, and two stores may be
+//! merged wholesale (e.g. when reconciling a restarted driver). For the
+//! federated view to be trustworthy, the merge must therefore be a
+//! semilattice join:
+//!
+//! 1. **Associative + commutative** — `merge` gives the same store for
+//!    any grouping and order of inputs.
+//! 2. **Idempotent** — merging a store with itself (or absorbing a
+//!    duplicated report) changes nothing.
+//! 3. **Injective worker labels** — Prometheus label sanitisation can
+//!    never collide two distinct workers into one series.
+//!
+//! Stores are built through the real `absorb_report` wire path (encoded
+//! snapshot + span bytes), not synthetic structs, so the properties
+//! cover the codec too.
+
+use bpart_obs::federation::{encode_spans, FederationStore, MetricsSnapshot, StepSample, WireSpan};
+use proptest::prelude::*;
+
+/// One synthetic worker report: identity, payload knobs, and a step
+/// timing sample, all small enough to force collisions across cases.
+type Report = ((u32, u32, u64), (u64, u64, u64));
+
+fn report_strategy() -> impl Strategy<Value = Vec<Report>> {
+    prop::collection::vec(
+        (
+            // (worker, epoch, seq): tiny domains so reports collide.
+            (0u32..3, 0u32..3, 0u64..4),
+            // (counter value, superstep, compute_ns).
+            (0u64..100, 0u64..4, 0u64..1_000),
+        ),
+        0..10,
+    )
+}
+
+/// Applies one report through the real wire path.
+fn absorb(store: &mut FederationStore, r: &Report) {
+    let ((worker, epoch, seq), (value, superstep, compute_ns)) = *r;
+    let mut snap = MetricsSnapshot::default();
+    snap.counters.insert("t.prop.counter".to_string(), value);
+    snap.gauges.insert("t.prop.gauge".to_string(), value as f64);
+    let spans = encode_spans(&[WireSpan {
+        id: seq + 1,
+        parent: None,
+        name: "t.prop.span".to_string(),
+        thread: worker as u64,
+        start_ns: compute_ns,
+        dur_ns: value,
+        attrs: vec![("superstep".to_string(), superstep.to_string())],
+    }]);
+    store
+        .absorb_report(
+            worker,
+            epoch,
+            seq,
+            Some((
+                superstep,
+                StepSample {
+                    epoch,
+                    compute_ns,
+                    comm_ns: value,
+                },
+            )),
+            &snap.to_bytes(),
+            &spans,
+        )
+        .expect("absorb synthetic report");
+}
+
+fn store_from(reports: &[Report]) -> FederationStore {
+    let mut store = FederationStore::default();
+    for r in reports {
+        absorb(&mut store, r);
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merge_is_associative_commutative_and_idempotent(
+        ra in report_strategy(),
+        rb in report_strategy(),
+        rc in report_strategy(),
+    ) {
+        let (a, b, c) = (store_from(&ra), store_from(&rb), store_from(&rc));
+        let ab_c = FederationStore::merge(&FederationStore::merge(&a, &b), &c);
+        let a_bc = FederationStore::merge(&a, &FederationStore::merge(&b, &c));
+        prop_assert_eq!(&ab_c, &a_bc, "merge must be associative");
+        prop_assert_eq!(
+            FederationStore::merge(&a, &b),
+            FederationStore::merge(&b, &a),
+            "merge must be commutative"
+        );
+        prop_assert_eq!(
+            FederationStore::merge(&a, &a),
+            a.clone(),
+            "merge must be idempotent"
+        );
+        // Merging a combined store back into a part is also a no-op.
+        prop_assert_eq!(FederationStore::merge(&ab_c, &a_bc), ab_c);
+    }
+
+    #[test]
+    fn absorb_order_and_duplicates_do_not_matter(
+        reports in report_strategy(),
+        rotate in 0usize..10,
+        dup in 0usize..10,
+    ) {
+        let forward = store_from(&reports);
+
+        // Any rotation + reversal of the delivery order converges to
+        // the same store.
+        let mut shuffled = reports.clone();
+        if !shuffled.is_empty() {
+            let k = rotate % shuffled.len();
+            shuffled.rotate_left(k);
+            shuffled.reverse();
+        }
+        prop_assert_eq!(&store_from(&shuffled), &forward, "absorb order leaked");
+
+        // Replaying one report (a retried frame) is invisible.
+        let mut with_dup = forward.clone();
+        if !reports.is_empty() {
+            absorb(&mut with_dup, &reports[dup % reports.len()]);
+        }
+        prop_assert_eq!(&with_dup, &forward, "duplicate report changed the store");
+    }
+
+    #[test]
+    fn sanitised_worker_labels_never_collide(a in 0u32..5_000, b in 0u32..5_000) {
+        prop_assume!(a != b);
+        let (la, lb) = (
+            bpart_obs::federation::worker_label(a),
+            bpart_obs::federation::worker_label(b),
+        );
+        prop_assert_ne!(&la, &lb);
+        // Label values are digit-only, so Prometheus text-format escaping
+        // can never rewrite (and thereby collide) them.
+        prop_assert!(la.chars().all(|c| c.is_ascii_digit()), "label {la:?}");
+        prop_assert!(lb.chars().all(|c| c.is_ascii_digit()), "label {lb:?}");
+        // And when a label is embedded into a per-worker series name,
+        // metric-name sanitisation passes digits through unchanged, so
+        // two workers still cannot end up sharing one series.
+        prop_assert_ne!(
+            bpart_obs::metrics::sanitize_name(&format!("dist.worker.{la}.up")),
+            bpart_obs::metrics::sanitize_name(&format!("dist.worker.{lb}.up"))
+        );
+    }
+}
