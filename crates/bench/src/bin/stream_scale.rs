@@ -134,9 +134,12 @@ fn main() {
          determinism and the quality envelope."
     );
 
-    // Span-tracing overhead: the identical sequential pass with the tracer
-    // off (the release default) vs on. Min-of-N per side filters scheduler
-    // noise; the gate below adds an absolute floor for tiny scales.
+    // Observability overhead: the identical sequential pass with the tracer
+    // off (the release default) vs on *with the continuous profiler
+    // sampling* — the always-on diagnostics configuration, so the gate
+    // covers both the span hot path and the 2ms stack sampler. Min-of-N
+    // per side filters scheduler noise; the gate below adds an absolute
+    // floor for tiny scales.
     const OBS_REPS: usize = 3;
     let measure = |reps: usize| -> f64 {
         let mut best = f64::INFINITY;
@@ -157,7 +160,12 @@ fn main() {
     let secs_traced_off = measure(OBS_REPS);
     bpart_obs::set_trace_enabled(true);
     bpart_obs::clear_trace();
+    bpart_obs::profile::reset_profile();
+    bpart_obs::profile::set_profile_enabled(true);
+    bpart_obs::profile::start_sampler(bpart_obs::profile::DEFAULT_SAMPLE_INTERVAL);
     let secs_traced_on = measure(OBS_REPS);
+    bpart_obs::profile::stop_sampler();
+    bpart_obs::profile::set_profile_enabled(false);
     bpart_obs::set_trace_enabled(false);
     let overhead = if secs_traced_off > 0.0 {
         secs_traced_on / secs_traced_off - 1.0
@@ -165,8 +173,10 @@ fn main() {
         0.0
     };
     println!(
-        "tracing overhead: off {secs_traced_off:.4}s, on {secs_traced_on:.4}s ({:+.1}%)\n",
-        overhead * 100.0
+        "tracing overhead: off {secs_traced_off:.4}s, on {secs_traced_on:.4}s ({:+.1}%) \
+         [{} profile samples]\n",
+        overhead * 100.0,
+        bpart_obs::profile::sample_count()
     );
 
     // Hot-path throughput probe (ROADMAP item 5): the sequential phase-1
@@ -359,12 +369,12 @@ fn main() {
             }
         }
         // Instrumentation must be cheap enough to leave on in release
-        // builds: tracing on may not cost more than 3% over tracing off
-        // (10ms absolute floor so timer noise at tiny BPART_SCALE values
-        // cannot flake the gate).
+        // builds: tracing + continuous profiling on may not cost more
+        // than 3% over everything off (10ms absolute floor so timer
+        // noise at tiny BPART_SCALE values cannot flake the gate).
         if secs_traced_on > secs_traced_off * 1.03 + 0.01 {
             eprintln!(
-                "PERF GATE: span tracing overhead {:.1}% exceeds 3% \
+                "PERF GATE: tracing+profiling overhead {:.1}% exceeds 3% \
                  (off {secs_traced_off:.4}s, on {secs_traced_on:.4}s)",
                 overhead * 100.0
             );

@@ -21,6 +21,9 @@ pub struct ObsFlags {
     /// Git revision to stamp into the history record (defaults to
     /// `$BPART_GIT_REV` / `$GITHUB_SHA` / `"unknown"`).
     pub git_rev: Option<String>,
+    /// Write the continuous profiler's folded-stack text here after the
+    /// run (the cluster-wide flame view on distributed drivers).
+    pub profile_out: Option<String>,
 }
 
 /// A parsed `bpart` invocation.
@@ -90,12 +93,14 @@ pub enum Command {
         key: u64,
         heartbeat_ms: u64,
     },
-    /// `bpart report TRACE... [--critical-path] [--straggler-factor F]` —
-    /// multiple traces (driver + per-worker exports) merge into one
-    /// aligned view.
+    /// `bpart report TRACE... [--critical-path] [--profile]
+    /// [--straggler-factor F]` — multiple traces (driver + per-worker
+    /// exports) merge into one aligned view; `--profile` reads folded
+    /// profile files instead of JSONL traces.
     Report {
         traces: Vec<String>,
         critical_path: bool,
+        profile: bool,
         straggler_factor: f64,
     },
     /// `bpart obs diff BASELINE CANDIDATE [--watch M1,M2] [--threshold F]`
@@ -105,6 +110,9 @@ pub enum Command {
         watch: Vec<String>,
         threshold: f64,
     },
+    /// `bpart obs alerts ADDR` — fetch and pretty-print `/alerts` from a
+    /// live `--serve-addr` server.
+    ObsAlerts { addr: String },
     /// `bpart convert SRC DST`
     Convert { src: String, dst: String },
     /// `bpart schemes`
@@ -253,6 +261,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "serve-addr",
                     "history-out",
                     "git-rev",
+                    "profile-out",
                 ],
             )?;
             Ok(Command::Partition {
@@ -392,6 +401,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "serve-addr",
                     "history-out",
                     "git-rev",
+                    "profile-out",
                 ],
             )?;
             Ok(Command::Run {
@@ -441,15 +451,19 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             })
         }
         "report" => {
-            // `--critical-path` is the one boolean flag in the CLI;
+            // `--critical-path` / `--profile` are the CLI's boolean flags;
             // `split_flags` treats every `--x` as value-taking, so pull
-            // the token out before splitting.
+            // the boolean tokens out before splitting.
             let mut critical_path = false;
+            let mut profile = false;
             let rest: Vec<&str> = rest
                 .into_iter()
                 .filter(|&tok| {
                     if tok == "--critical-path" {
                         critical_path = true;
+                        false
+                    } else if tok == "--profile" {
+                        profile = true;
                         false
                     } else {
                         true
@@ -472,19 +486,37 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             check_unknown(&flags, &["straggler-factor"])?;
             if positional.is_empty() {
                 return Err(err(
-                    "report takes one or more TRACE arguments (JSONL files from --trace-out)",
+                    "report takes one or more TRACE arguments (JSONL files from --trace-out, \
+                     or folded profile files with --profile)",
                 ));
+            }
+            if profile && critical_path {
+                return Err(err("--profile and --critical-path are mutually exclusive"));
             }
             Ok(Command::Report {
                 traces: positional.iter().map(|s| s.to_string()).collect(),
                 critical_path,
+                profile,
                 straggler_factor,
             })
         }
         "obs" => {
+            if let Some((&"alerts", tail)) = rest.split_first() {
+                let (flags, positional) = split_flags(tail)?;
+                check_unknown(&flags, &[])?;
+                return match positional.as_slice() {
+                    [addr] => Ok(Command::ObsAlerts {
+                        addr: addr.to_string(),
+                    }),
+                    other => Err(err(format!(
+                        "obs alerts takes one ADDR argument (a --serve-addr address), got {other:?}"
+                    ))),
+                };
+            }
             let Some((&"diff", tail)) = rest.split_first() else {
                 return Err(err(format!(
-                    "obs takes a `diff` subcommand (obs diff BASELINE CANDIDATE), got {rest:?}"
+                    "obs takes a `diff` or `alerts` subcommand (obs diff BASELINE CANDIDATE, \
+                     obs alerts ADDR), got {rest:?}"
                 )));
             };
             let (flags, positional) = split_flags(tail)?;
@@ -590,6 +622,7 @@ fn parse_obs(flags: &[(&str, &str)]) -> ObsFlags {
         serve_addr: get_optional(flags, "serve-addr").map(str::to_string),
         history_out: get_optional(flags, "history-out").map(str::to_string),
         git_rev: get_optional(flags, "git-rev").map(str::to_string),
+        profile_out: get_optional(flags, "profile-out").map(str::to_string),
     }
 }
 
@@ -823,6 +856,7 @@ mod tests {
             Command::Report {
                 traces: vec!["trace.jsonl".into()],
                 critical_path: false,
+                profile: false,
                 straggler_factor: 2.0,
             }
         );
@@ -838,6 +872,7 @@ mod tests {
             Command::Report {
                 traces: vec!["trace.jsonl".into()],
                 critical_path: true,
+                profile: false,
                 straggler_factor: 1.5,
             }
         );
@@ -847,9 +882,22 @@ mod tests {
             Command::Report {
                 traces: vec!["a.jsonl".into(), "b.jsonl".into(), "c.jsonl".into()],
                 critical_path: false,
+                profile: false,
                 straggler_factor: 2.0,
             }
         );
+        // --profile flips to folded-profile mode; clashes with
+        // --critical-path (different input formats entirely).
+        assert_eq!(
+            p(&["report", "--profile", "a.folded", "b.folded"]).unwrap(),
+            Command::Report {
+                traces: vec!["a.folded".into(), "b.folded".into()],
+                critical_path: false,
+                profile: true,
+                straggler_factor: 2.0,
+            }
+        );
+        assert!(p(&["report", "--profile", "--critical-path", "a"]).is_err());
         assert!(p(&["report"]).is_err());
         assert!(p(&["report", "a", "--straggler-factor", "0.5"]).is_err());
         assert!(p(&["report", "a", "--straggler-factor", "nan"]).is_err());
@@ -889,6 +937,53 @@ mod tests {
         assert!(p(&["obs", "diff", "a.json"]).is_err());
         assert!(p(&["obs", "diff", "a", "b", "--watch", ","]).is_err());
         assert!(p(&["obs", "diff", "a", "b", "--threshold", "-1"]).is_err());
+    }
+
+    #[test]
+    fn parses_obs_alerts() {
+        assert_eq!(
+            p(&["obs", "alerts", "127.0.0.1:9090"]).unwrap(),
+            Command::ObsAlerts {
+                addr: "127.0.0.1:9090".into(),
+            }
+        );
+        assert!(p(&["obs", "alerts"]).is_err());
+        assert!(p(&["obs", "alerts", "a", "b"]).is_err());
+        assert!(p(&["obs", "alerts", "addr", "--bogus", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_profile_out() {
+        match p(&[
+            "run",
+            "g.txt",
+            "--parts",
+            "2",
+            "--profile-out",
+            "results/prof.folded",
+        ])
+        .unwrap()
+        {
+            Command::Run { obs, .. } => {
+                assert_eq!(obs.profile_out.as_deref(), Some("results/prof.folded"));
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+        match p(&[
+            "partition",
+            "g.txt",
+            "--parts",
+            "2",
+            "--profile-out",
+            "p.folded",
+        ])
+        .unwrap()
+        {
+            Command::Partition { obs, .. } => {
+                assert_eq!(obs.profile_out.as_deref(), Some("p.folded"));
+            }
+            other => panic!("expected Partition, got {other:?}"),
+        }
     }
 
     #[test]

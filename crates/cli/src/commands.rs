@@ -156,14 +156,16 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         Command::Report {
             traces,
             critical_path,
+            profile,
             straggler_factor,
-        } => report_cmd(traces, *critical_path, *straggler_factor),
+        } => report_cmd(traces, *critical_path, *profile, *straggler_factor),
         Command::ObsDiff {
             a,
             b,
             watch,
             threshold,
         } => obs_diff_cmd(a, b, watch, *threshold),
+        Command::ObsAlerts { addr } => obs_alerts_cmd(addr),
     }
 }
 
@@ -182,10 +184,37 @@ struct ObsExports<'a> {
 impl<'a> ObsExports<'a> {
     fn begin(obs: &'a ObsFlags) -> Result<Self, CliError> {
         // The live /spans endpoint is only useful with tracing on, so
-        // --serve-addr arms the tracer just like --trace-out does.
-        if obs.trace_out.is_some() || obs.serve_addr.is_some() {
+        // --serve-addr arms the tracer just like --trace-out does; the
+        // profiler samples the tracer's live span stacks, so
+        // --profile-out must arm it too.
+        if obs.trace_out.is_some() || obs.serve_addr.is_some() || obs.profile_out.is_some() {
             bpart_obs::set_trace_enabled(true);
             bpart_obs::clear_trace();
+            // Long runs can opt the span ring into tail-based sampling:
+            // slow/faulted supersteps keep full detail, fast repetitive
+            // ones downsample (DESIGN.md §16).
+            if std::env::var("BPART_TAIL_SAMPLE").as_deref() == Ok("1") {
+                bpart_obs::sampling::set_tail_sampling_enabled(true);
+            }
+        }
+        // The continuous profiler runs whenever its output has somewhere
+        // to go: a --profile-out file or the live /profile endpoint.
+        if obs.profile_out.is_some() || obs.serve_addr.is_some() {
+            bpart_obs::profile::reset_profile();
+            bpart_obs::profile::set_profile_enabled(true);
+            // A no-op unless the binary was built with --features
+            // alloc-profile (which installs SpanAlloc as the global
+            // allocator); with it, heap bytes land on the innermost span.
+            bpart_obs::profile::set_alloc_profile_enabled(true);
+            bpart_obs::profile::start_sampler(bpart_obs::profile::DEFAULT_SAMPLE_INTERVAL);
+        }
+        // The alert engine watches the registry in the background while a
+        // live server is up (that's what turns /healthz degraded); the
+        // built-in rules are installed either way so `finish` can report
+        // anything that fired during the run.
+        if obs.serve_addr.is_some() {
+            bpart_obs::alerts::install_builtin_rules();
+            bpart_obs::alerts::start_evaluator(std::time::Duration::from_millis(250));
         }
         let server = match obs.serve_addr.as_deref() {
             Some(addr) => {
@@ -210,7 +239,10 @@ impl<'a> ObsExports<'a> {
                 "  wrote {written} spans to {path} (inspect with `bpart report {path}`)\n"
             ));
         }
-        if self.obs.trace_out.is_some() || self.obs.serve_addr.is_some() {
+        if self.obs.trace_out.is_some()
+            || self.obs.serve_addr.is_some()
+            || self.obs.profile_out.is_some()
+        {
             bpart_obs::set_trace_enabled(false);
         }
         if let Some(path) = self.obs.metrics_out.as_deref() {
@@ -228,6 +260,43 @@ impl<'a> ObsExports<'a> {
                     .map_err(|e| fail(format!("cannot append federated metrics {path}: {e}")))?;
             }
             text.push_str(&format!("  wrote metrics snapshot to {path}\n"));
+        }
+        if self.obs.profile_out.is_some() || self.obs.serve_addr.is_some() {
+            bpart_obs::profile::stop_sampler();
+            bpart_obs::profile::set_profile_enabled(false);
+            bpart_obs::profile::set_alloc_profile_enabled(false);
+        }
+        if let Some(path) = self.obs.profile_out.as_deref() {
+            // The cluster-wide flame view: the driver's own folded
+            // stacks plus every federated worker profile, clock-aligned
+            // by construction (counts, not timestamps).
+            let mut folded = bpart_obs::federation::global().cluster_profile_folded();
+            // Allocator attribution rides along as comment lines (the
+            // folded parser skips `#`), populated only under the CLI's
+            // alloc-profile feature.
+            for (span, bytes, allocs) in bpart_obs::profile::alloc_snapshot() {
+                folded.push_str(&format!(
+                    "# alloc: {span} {bytes} bytes / {allocs} allocs\n"
+                ));
+            }
+            if let Some(parent) = Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| fail(format!("cannot create {}: {e}", parent.display())))?;
+                }
+            }
+            std::fs::write(path, &folded)
+                .map_err(|e| fail(format!("cannot write profile {path}: {e}")))?;
+            text.push_str(&format!(
+                "  wrote folded profile to {path} (render with `bpart report --profile {path}`)\n"
+            ));
+        }
+        if self.obs.serve_addr.is_some() {
+            bpart_obs::alerts::stop_evaluator();
+            let fired = bpart_obs::alerts::firing();
+            if !fired.is_empty() {
+                text.push_str(&format!("  alerts firing at exit: {}\n", fired.join(", ")));
+            }
         }
         if let Some(server) = self.server.take() {
             let addr = server.addr();
@@ -283,8 +352,12 @@ fn write_history(
 fn report_cmd(
     traces: &[String],
     critical_path: bool,
+    profile: bool,
     straggler_factor: f64,
 ) -> Result<String, CliError> {
+    if profile {
+        return report_profile_cmd(traces);
+    }
     let mut all: Vec<bpart_obs::report::ParsedSpan> = Vec::new();
     let mut used: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     for trace_path in traces {
@@ -315,6 +388,78 @@ fn report_cmd(
     } else {
         Ok(bpart_obs::report::render_report(&all))
     }
+}
+
+/// `bpart report --profile`: merges one or more folded-stack profile
+/// files (`--profile-out`, or `/profile` scrapes) into a single flame
+/// view — identical stacks across files sum their counts — and renders
+/// it with per-stack sample shares. The output is itself valid folded
+/// text, so it pipes straight into any flamegraph renderer.
+fn report_profile_cmd(paths: &[String]) -> Result<String, CliError> {
+    let mut merged: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| fail(format!("cannot open {path}: {e}")))?;
+        for (stack, count) in
+            bpart_obs::profile::parse_folded(&text).map_err(|e| fail(format!("{path}: {e}")))?
+        {
+            *merged.entry(stack).or_insert(0) += count;
+        }
+    }
+    let total: u64 = merged.values().sum();
+    if total == 0 {
+        return Ok("profile: no samples (was the profiler enabled?)\n".to_string());
+    }
+    let mut rows: Vec<(&String, &u64)> = merged.iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    let mut out = format!(
+        "# profile: {} samples across {} stacks ({} files)\n",
+        total,
+        rows.len(),
+        paths.len()
+    );
+    for (stack, count) in rows {
+        out.push_str(&format!("{stack} {count}\n"));
+    }
+    Ok(out)
+}
+
+/// `bpart obs alerts ADDR`: one hand-rolled HTTP GET of `/alerts` from a
+/// live `--serve-addr` server, pretty-printed one rule per line.
+fn obs_alerts_cmd(addr: &str) -> Result<String, CliError> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| fail(format!("cannot connect to {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok();
+    write!(stream, "GET /alerts HTTP/1.1\r\nHost: {addr}\r\n\r\n")
+        .map_err(|e| fail(format!("cannot query {addr}: {e}")))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| fail(format!("cannot read from {addr}: {e}")))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| fail(format!("malformed HTTP response from {addr}")))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(fail(format!("{addr} answered {status}")));
+    }
+    // The body is the alerts_json array; re-render it one rule per line
+    // so a terminal read doesn't need a JSON tool.
+    let trimmed = body.trim().trim_start_matches('[').trim_end_matches(']');
+    let mut out = String::from("alerts:\n");
+    if trimmed.is_empty() {
+        out.push_str("  (no rules installed)\n");
+        return Ok(out);
+    }
+    // Objects are flat (no nested braces), so splitting on "},{" is safe.
+    for obj in trimmed.split("},{") {
+        let obj = obj.trim_start_matches('{').trim_end_matches('}');
+        out.push_str(&format!("  {obj}\n"));
+    }
+    Ok(out)
 }
 
 fn obs_diff_cmd(
@@ -876,7 +1021,8 @@ fn run_process_cmd(
     let obs_on = obs.trace_out.is_some()
         || obs.metrics_out.is_some()
         || obs.serve_addr.is_some()
-        || obs.history_out.is_some();
+        || obs.history_out.is_some()
+        || obs.profile_out.is_some();
     federation::reset();
     federation::set_collection_enabled(obs_on);
 
@@ -992,6 +1138,31 @@ fn run_process_cmd(
                     row.ratio * 100.0
                 ));
             }
+        }
+        // Driver-side RPC round-trip quantiles, from the same shared
+        // bucket estimator the rpc-rtt-p99 alert rule reads.
+        let mut rtt_line = None;
+        bpart_obs::metrics::visit_metrics(|name, view| {
+            if name != "dist.rpc_rtt_ns" {
+                return;
+            }
+            if let bpart_obs::metrics::MetricView::Histogram {
+                bounds, buckets, ..
+            } = view
+            {
+                let q = |q| {
+                    bpart_obs::metrics::quantile_from_buckets(&bounds, &buckets, q)
+                        .map_or("n/a".to_string(), |v| format!("{:.2}ms", v / 1e6))
+                };
+                rtt_line = Some(format!(
+                    "  rpc rtt:         p50 {}, p99 {}\n",
+                    q(0.5),
+                    q(0.99)
+                ));
+            }
+        });
+        if let Some(line) = rtt_line {
+            text.push_str(&line);
         }
         if dead > 0 {
             text.push_str(&format!(
@@ -1554,6 +1725,7 @@ mod tests {
         let report = runs(Command::Report {
             traces: vec![tp.clone()],
             critical_path: false,
+            profile: false,
             straggler_factor: 2.0,
         });
         assert!(report.contains("cluster.superstep"), "{report}");
@@ -1570,6 +1742,7 @@ mod tests {
         let e = run(&Command::Report {
             traces: vec![mp.clone()],
             critical_path: false,
+            profile: false,
             straggler_factor: 2.0,
         })
         .unwrap_err();
@@ -1694,6 +1867,7 @@ mod tests {
         let e = run(&Command::Report {
             traces: vec![bad_path.to_str().unwrap().into()],
             critical_path: false,
+            profile: false,
             straggler_factor: 2.0,
         })
         .unwrap_err();
@@ -1703,6 +1877,7 @@ mod tests {
         let e = run(&Command::Report {
             traces: vec!["/no/such/trace.jsonl".into()],
             critical_path: false,
+            profile: false,
             straggler_factor: 2.0,
         })
         .unwrap_err();

@@ -69,8 +69,9 @@ USAGE:
 [--backend threads|process] [--workers N] [--fault-plan SPEC] \
 [--checkpoint-every N] [--threads T] [--buffer-size B] \
 [+ OBSERVABILITY flags]
-  bpart report    TRACE... [--critical-path] [--straggler-factor F]
+  bpart report    TRACE... [--critical-path] [--profile] [--straggler-factor F]
   bpart obs diff  BASELINE CANDIDATE [--watch M1,M2] [--threshold F]
+  bpart obs alerts ADDR
   bpart convert   SRC DST
   bpart schemes
 
@@ -134,12 +135,24 @@ OBSERVABILITY (partition/run; see DESIGN.md §10–11):
                       git rev, and headline metrics for `bpart obs diff`
   --git-rev REV       revision stamped into the history record (defaults
                       to $BPART_GIT_REV / $GITHUB_SHA)
+  --profile-out FILE  continuous-profiler flamegraph (folded-stack text);
+                      on a process-backend run this merges the driver's
+                      and every worker's profile into one cluster view
+  BPART_TAIL_SAMPLE=1 (env) tail-based span sampling: slow/faulted
+                      supersteps keep full detail in the span ring, fast
+                      repetitive ones downsample (DESIGN.md §16)
+  A --serve-addr server also exposes /profile (live folded stacks) and
+  /alerts (built-in metric rules: worker-death, straggler, pipeline-stall,
+  replay-storm, rpc-rtt-p99); firing alerts turn /healthz degraded and
+  `bpart obs alerts ADDR` pretty-prints them.
 
 REPORT (post-mortem on --trace-out files; several TRACEs — the driver's
 plus the per-worker exports a process-backend run leaves next to it —
 merge into one clock-aligned view):
   --critical-path       per-superstep gating machine + per-machine blame
                         table (paper Fig. 13) instead of the span tree
+  --profile             merge folded-stack PROFILE files (--profile-out)
+                        into one flame view instead of reading traces
   --straggler-factor F  flag supersteps whose gating compute exceeds the
                         superstep median by F (default 2)
 

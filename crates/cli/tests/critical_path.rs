@@ -121,6 +121,7 @@ fn report_critical_path_renders_gating_and_blame() {
     let out = run(&Command::Report {
         traces: vec![tp.clone()],
         critical_path: true,
+        profile: false,
         straggler_factor: 2.0,
     })
     .unwrap();
@@ -138,6 +139,7 @@ fn report_critical_path_renders_gating_and_blame() {
     let tree = run(&Command::Report {
         traces: vec![tp.clone()],
         critical_path: false,
+        profile: false,
         straggler_factor: 2.0,
     })
     .unwrap();

@@ -191,6 +191,9 @@ struct ChannelAccounting {
     occupancy_gauge: &'static bpart_obs::metrics::Gauge,
     send_stall_counter: &'static bpart_obs::metrics::Counter,
     recv_stall_counter: &'static bpart_obs::metrics::Counter,
+    /// Aggregate across every stage and direction — the numerator the
+    /// `pipeline-stall` alert rule ratios against `pipeline.batches`.
+    total_stall_counter: &'static bpart_obs::metrics::Counter,
 }
 
 struct BoundedSender<T> {
@@ -218,6 +221,7 @@ fn bounded<T>(name: &str, capacity: usize) -> (BoundedSender<T>, BoundedReceiver
         occupancy_gauge: bpart_obs::metrics::gauge(&format!("pipeline.{name}.occupancy")),
         send_stall_counter: bpart_obs::metrics::counter(&format!("pipeline.{name}.send_stalls")),
         recv_stall_counter: bpart_obs::metrics::counter(&format!("pipeline.{name}.recv_stalls")),
+        total_stall_counter: bpart_obs::metrics::counter("pipeline.stalls"),
     });
     (
         BoundedSender {
@@ -242,6 +246,7 @@ impl<T> BoundedSender<T> {
             Err(TrySendError::Full(item)) => {
                 self.acct.send_stalls.fetch_add(1, Ordering::Relaxed);
                 self.acct.send_stall_counter.inc();
+                self.acct.total_stall_counter.inc();
                 item
             }
         };
@@ -271,6 +276,7 @@ impl<T> BoundedReceiver<T> {
             Err(std::sync::mpsc::TryRecvError::Empty) => {
                 self.acct.recv_stalls.fetch_add(1, Ordering::Relaxed);
                 self.acct.recv_stall_counter.inc();
+                self.acct.total_stall_counter.inc();
                 self.rx.recv().ok()?
             }
         };

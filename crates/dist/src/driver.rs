@@ -438,6 +438,7 @@ impl Driver {
             send_ns,
             metrics,
             spans,
+            profile,
         } = msg
         else {
             return;
@@ -473,6 +474,9 @@ impl Driver {
         ));
         if let Err(e) = store.absorb_report(machine as u32, epoch, seq, step, &metrics, &spans) {
             eprintln!("bpart: dropped obs report from worker {machine}: {e}");
+        }
+        if let Err(e) = store.absorb_profile(machine as u32, epoch, seq, &profile) {
+            eprintln!("bpart: dropped obs profile from worker {machine}: {e}");
         }
     }
 
@@ -771,12 +775,22 @@ impl Driver {
             if let Some(g) = &mut step_span {
                 let store = federation::global();
                 if let Some((compute, comm)) = store.step_timings(superstep) {
+                    // The straggler factor the `straggler` alert rule
+                    // watches: slowest worker's compute vs the mean.
+                    let mean = compute.iter().sum::<f64>() / compute.len() as f64;
+                    let max = compute.iter().fold(0.0f64, |a, &b| a.max(b));
+                    if mean > 0.0 {
+                        bpart_obs::metrics::gauge("dist.straggler_factor").set(max / mean);
+                    }
                     g.attr("compute", bpart_obs::analysis::join_timings(&compute));
                     g.attr("comm", bpart_obs::analysis::join_timings(&comm));
                 }
                 drop(store);
                 if high_water.is_some_and(|h| superstep <= h) {
                     g.attr("replay", "true");
+                    // Replayed supersteps are post-mortem gold: pin them
+                    // past the tail sampler so the ring keeps full detail.
+                    g.keep();
                 }
             }
             drop(step_span);

@@ -21,7 +21,7 @@
 //! 10    worker -> driver Final     { epoch, result }
 //! 11    worker -> driver Heartbeat { epoch }
 //! 12    driver -> worker Shutdown  { }
-//! 13    worker -> driver ObsReport { epoch, seq, step?, clock echoes, metrics, spans }
+//! 13    worker -> driver ObsReport { epoch, seq, step?, clock echoes, metrics, spans, profile }
 //! ```
 //!
 //! `StepBegin` additionally carries the driver's send timestamp and an
@@ -257,6 +257,10 @@ pub enum WorkerMsg {
         metrics: Vec<u8>,
         /// `bpart_obs::federation::encode_spans` bytes (opaque here).
         spans: Vec<u8>,
+        /// Folded-stack profile text from the worker's continuous
+        /// profiler (UTF-8; empty when profiling is off). Opaque here —
+        /// validated and joined by `bpart_obs::federation`.
+        profile: Vec<u8>,
     },
 }
 
@@ -417,6 +421,7 @@ impl WorkerMsg {
                 send_ns,
                 metrics,
                 spans,
+                profile,
             } => {
                 put_u32(&mut out, *epoch);
                 put_u64(&mut out, *seq);
@@ -429,6 +434,7 @@ impl WorkerMsg {
                 put_u64(&mut out, *send_ns);
                 put_bytes(&mut out, metrics);
                 put_bytes(&mut out, spans);
+                put_bytes(&mut out, profile);
                 kind::OBS_REPORT
             }
         };
@@ -476,6 +482,7 @@ impl WorkerMsg {
                 send_ns: r.u64()?,
                 metrics: r.bytes()?,
                 spans: r.bytes()?,
+                profile: r.bytes()?,
             },
             k => {
                 return Err(ClusterError::corrupt(format!(
@@ -606,6 +613,7 @@ mod tests {
             send_ns: 333,
             metrics: vec![1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
             spans: vec![1, 0, 0, 0, 0],
+            profile: b"dist.superstep;dist.compute 7\n".to_vec(),
         });
         round_trip_worker(WorkerMsg::ObsReport {
             epoch: 0,
@@ -619,6 +627,7 @@ mod tests {
             send_ns: 0,
             metrics: Vec::new(),
             spans: Vec::new(),
+            profile: Vec::new(),
         });
     }
 

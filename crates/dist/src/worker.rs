@@ -200,6 +200,7 @@ fn build_obs_report(
     pos.seq += 1;
     let metrics = federation::MetricsSnapshot::capture().to_bytes();
     let spans = federation::encode_span_delta(&mut pos.span_watermark);
+    let profile = bpart_obs::profile::render_folded().into_bytes();
     let (superstep, compute_ns, comm_ns) = step.unwrap_or((0, 0, 0));
     WorkerMsg::ObsReport {
         epoch,
@@ -213,6 +214,7 @@ fn build_obs_report(
         send_ns: tracer::now_ns(),
         metrics,
         spans,
+        profile,
     }
 }
 
@@ -367,6 +369,11 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<(), ClusterError> {
                     // Driver runs with obs on: arm local collection so
                     // snapshots and span deltas have content to ship.
                     bpart_obs::set_trace_enabled(true);
+                    bpart_obs::profile::set_profile_enabled(true);
+                    bpart_obs::profile::start_sampler(bpart_obs::profile::DEFAULT_SAMPLE_INTERVAL);
+                    if std::env::var("BPART_TAIL_SAMPLE").as_deref() == Ok("1") {
+                        bpart_obs::sampling::set_tail_sampling_enabled(true);
+                    }
                     obs_enabled.store(true, Ordering::Relaxed);
                 }
                 let mut span = obs.then(|| {

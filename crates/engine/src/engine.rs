@@ -278,6 +278,11 @@ impl IterationEngine {
             let mut step_span = bpart_obs::span("cluster.superstep");
             step_span.attr("superstep", superstep);
             step_span.attr("replay", replaying);
+            if replaying {
+                // Replayed supersteps are what post-mortems read: pin
+                // them past the tail sampler's downsampling.
+                step_span.keep();
+            }
 
             // Global aggregate over current values (e.g. PR dangling mass).
             let agg_results = for_each_machine(self.mode, &mut states, |m, s| {

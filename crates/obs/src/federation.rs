@@ -410,6 +410,11 @@ pub struct WorkerObs {
     pub offset_ns: i64,
     /// The RTT of the best (kept) clock sample; `u64::MAX` = none yet.
     pub min_rtt_ns: u64,
+    /// Latest folded-stack profile text from the worker's continuous
+    /// profiler, keyed like the snapshot by the `(epoch, seq)` of the
+    /// report that carried it (profiles are cumulative counts, so the
+    /// newest report supersedes older ones wholesale).
+    pub profile: Option<((u32, u64), Vec<u8>)>,
 }
 
 impl Default for WorkerObs {
@@ -424,6 +429,7 @@ impl Default for WorkerObs {
             offset_ns: 0,
             // Sentinel: no clock sample yet, so any real RTT wins.
             min_rtt_ns: u64::MAX,
+            profile: None,
         }
     }
 }
@@ -475,6 +481,19 @@ impl WorkerObs {
             self.min_rtt_ns = other.min_rtt_ns;
             self.offset_ns = other.offset_ns;
         }
+        // Profile: same max-(epoch, seq) join as the snapshot, with the
+        // raw-bytes tie-break keeping equal keys deterministic.
+        self.profile = match (self.profile.take(), other.profile.clone()) {
+            (None, b) => b,
+            (a, None) => a,
+            (Some((ka, pa)), Some((kb, pb))) => {
+                if (kb, &pb) > (ka, &pa) {
+                    Some((kb, pb))
+                } else {
+                    Some((ka, pa))
+                }
+            }
+        };
     }
 }
 
@@ -570,6 +589,66 @@ impl FederationStore {
             }
         }
         Ok(())
+    }
+
+    /// Absorbs one worker's folded-stack profile blob (shipped alongside
+    /// the ObsReport payloads). Same `(epoch, seq)` max-join as the
+    /// metrics snapshot: replayed or reordered frames commute. Empty
+    /// blobs are ignored (the worker's profiler was off or has no
+    /// samples yet); malformed folded text is rejected so a corrupt
+    /// frame cannot poison the cluster flame view.
+    pub fn absorb_profile(
+        &mut self,
+        worker: u32,
+        epoch: u32,
+        seq: u64,
+        folded: &[u8],
+    ) -> Result<(), String> {
+        if folded.is_empty() {
+            return Ok(());
+        }
+        let text = std::str::from_utf8(folded).map_err(|e| format!("profile not UTF-8: {e}"))?;
+        crate::profile::parse_folded(text).map_err(|e| format!("profile malformed: {e}"))?;
+        let entry = self.workers.entry(worker).or_default();
+        let key = (epoch, seq);
+        match &entry.profile {
+            Some((k, _)) if key > *k => entry.profile = Some((key, folded.to_vec())),
+            Some((k, old)) if key == *k && folded > old.as_slice() => {
+                entry.profile = Some((key, folded.to_vec()));
+            }
+            Some(_) => {}
+            None => entry.profile = Some((key, folded.to_vec())),
+        }
+        Ok(())
+    }
+
+    /// Renders the cluster-wide flame view as folded-stack text: the
+    /// driver's own profiler counts prefixed `driver;`, then each
+    /// worker's federated profile prefixed `worker:N;` — one merged,
+    /// flamegraph-compatible document (`--profile-out`, `/profile`, and
+    /// the input to `bpart report --profile`). Lines sort by worker then
+    /// count so the output is deterministic for a given state.
+    pub fn cluster_profile_folded(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in crate::profile::folded_snapshot() {
+            let _ = writeln!(out, "driver;{stack} {count}");
+        }
+        for (worker, obs) in &self.workers {
+            let Some((_, blob)) = &obs.profile else {
+                continue;
+            };
+            let Ok(text) = std::str::from_utf8(blob) else {
+                continue;
+            };
+            let Ok(lines) = crate::profile::parse_folded(text) else {
+                continue;
+            };
+            let label = worker_label(*worker);
+            for (stack, count) in lines {
+                let _ = writeln!(out, "worker:{label};{stack} {count}");
+            }
+        }
+        out
     }
 
     /// Records one clock sample for `worker`; the minimum-RTT sample is
@@ -688,6 +767,25 @@ impl FederationStore {
                 let _ = writeln!(out, "{pname}_count{{worker=\"{label}\"}} {}", h.count);
             }
         }
+        // The driver's own RPC round-trip distribution, reduced to the
+        // quantile series dashboards watch. Goes through the shared
+        // bucket-math estimator in `metrics::quantile_from_buckets` —
+        // the same one the alert engine's `rpc-rtt-p99` rule reads.
+        metrics::visit_metrics(|name, view| {
+            if name != "dist.rpc_rtt_ns" {
+                return;
+            }
+            if let MetricView::Histogram {
+                bounds, buckets, ..
+            } = view
+            {
+                for (q, tag) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+                    if let Some(v) = metrics::quantile_from_buckets(&bounds, &buckets, q) {
+                        let _ = writeln!(out, "bpart_federation_rtt_{tag} {}", fmt_prom_f64(v));
+                    }
+                }
+            }
+        });
         out
     }
 
@@ -730,20 +828,29 @@ impl FederationStore {
 
     /// The `/healthz` body. Plain `ok` until a distributed driver
     /// enables structured health; then JSON with `ok`/`degraded`, the
-    /// dead-worker count, and the recovery-in-progress flag.
+    /// dead-worker count, the recovery-in-progress flag, and any
+    /// currently-firing alert rules (a fired rule alone is enough to
+    /// turn the state degraded).
     pub fn health_body(&self) -> String {
         if !self.health_enabled {
             return "ok\n".to_string();
         }
         let dead = self.dead_workers();
-        let status = if dead > 0 || self.recovering {
+        let firing = crate::alerts::firing();
+        let status = if dead > 0 || self.recovering || !firing.is_empty() {
             "degraded"
         } else {
             "ok"
         };
+        let alerts: Vec<String> = firing
+            .iter()
+            .map(|name| format!("\"{}\"", escape_json(name)))
+            .collect();
         format!(
-            "{{\"status\":\"{status}\",\"workers\":{},\"dead\":{dead},\"recovering\":{}}}\n",
-            self.cluster_size, self.recovering
+            "{{\"status\":\"{status}\",\"workers\":{},\"dead\":{dead},\"recovering\":{},\"alerts\":[{}]}}\n",
+            self.cluster_size,
+            self.recovering,
+            alerts.join(",")
         )
     }
 
@@ -1044,18 +1151,18 @@ mod tests {
         };
         assert_eq!(
             store.health_body(),
-            "{\"status\":\"ok\",\"workers\":4,\"dead\":0,\"recovering\":false}\n"
+            "{\"status\":\"ok\",\"workers\":4,\"dead\":0,\"recovering\":false,\"alerts\":[]}\n"
         );
         store.recovering = true;
         assert_eq!(
             store.health_body(),
-            "{\"status\":\"degraded\",\"workers\":4,\"dead\":0,\"recovering\":true}\n"
+            "{\"status\":\"degraded\",\"workers\":4,\"dead\":0,\"recovering\":true,\"alerts\":[]}\n"
         );
         store.recovering = false;
         store.mark_dead(2);
         assert_eq!(
             store.health_body(),
-            "{\"status\":\"degraded\",\"workers\":4,\"dead\":1,\"recovering\":false}\n"
+            "{\"status\":\"degraded\",\"workers\":4,\"dead\":1,\"recovering\":false,\"alerts\":[]}\n"
         );
     }
 
@@ -1133,6 +1240,64 @@ mod tests {
                 .contains("bpart_federation_stale{worker=\"3\"} 1"),
             "death must surface as staleness"
         );
+    }
+
+    #[test]
+    fn profile_blobs_join_by_epoch_seq_and_reject_garbage() {
+        let mut store = FederationStore::default();
+        store.absorb_profile(1, 0, 1, b"a;b 3\nc 1\n").unwrap();
+        // An older (epoch, seq) replay must not regress the blob.
+        store.absorb_profile(1, 0, 0, b"stale 9\n").unwrap();
+        assert_eq!(
+            store.workers[&1].profile,
+            Some(((0, 1), b"a;b 3\nc 1\n".to_vec()))
+        );
+        // A newer key replaces it.
+        store.absorb_profile(1, 1, 0, b"newer 2\n").unwrap();
+        assert_eq!(
+            store.workers[&1].profile,
+            Some(((1, 0), b"newer 2\n".to_vec()))
+        );
+        // Same key: byte-wise max wins, so duplicate delivery commutes.
+        store.absorb_profile(1, 1, 0, b"aaaaa 1\n").unwrap();
+        assert_eq!(
+            store.workers[&1].profile,
+            Some(((1, 0), b"newer 2\n".to_vec()))
+        );
+        // Empty blobs are a silent no-op (profiler off on that worker).
+        store.absorb_profile(2, 0, 0, b"").unwrap();
+        assert!(store.workers.get(&2).map_or(true, |w| w.profile.is_none()));
+        // Malformed folded text and non-UTF-8 are rejected outright.
+        assert!(store.absorb_profile(3, 0, 0, b"no-count-token").is_err());
+        assert!(store
+            .absorb_profile(3, 0, 0, &[0xff, 0xfe, 0x20, 0x31])
+            .is_err());
+    }
+
+    #[test]
+    fn cluster_profile_folded_prefixes_worker_sections() {
+        let mut store = FederationStore::default();
+        store.absorb_profile(1, 0, 1, b"a;b 3\nc 1\n").unwrap();
+        store.absorb_profile(2, 0, 1, b"x 5\n").unwrap();
+        let folded = store.cluster_profile_folded();
+        assert!(folded.contains("worker:1;a;b 3\n"), "{folded}");
+        assert!(folded.contains("worker:1;c 1\n"), "{folded}");
+        assert!(folded.contains("worker:2;x 5\n"), "{folded}");
+        // The merged document must itself be valid folded text.
+        crate::profile::parse_folded(&folded).expect("cluster view parses");
+    }
+
+    #[test]
+    fn prometheus_federated_emits_rtt_quantiles() {
+        // The series reads the driver's live `dist.rpc_rtt_ns` histogram
+        // through the shared quantile estimator.
+        let h = metrics::histogram("dist.rpc_rtt_ns", &[1_000.0, 1_000_000.0]);
+        h.observe(500.0);
+        h.observe(600.0);
+        let text = FederationStore::default().prometheus_federated();
+        assert!(text.contains("bpart_federation_rtt_p50 "), "{text}");
+        assert!(text.contains("bpart_federation_rtt_p90 "), "{text}");
+        assert!(text.contains("bpart_federation_rtt_p99 "), "{text}");
     }
 
     #[test]

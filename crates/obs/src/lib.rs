@@ -20,8 +20,8 @@
 //!   text exposition of the registry, and a flame-style span-tree report
 //!   ([`report`]) rendered by the `bpart report` CLI subcommand.
 //! * **Live serving** ([`serve`]) — a std-only background HTTP server
-//!   (`--serve-addr`) exposing `/metrics`, `/spans`, `/healthz`, and
-//!   `/progress` while a job runs.
+//!   (`--serve-addr`) exposing `/metrics`, `/spans`, `/healthz`,
+//!   `/progress`, `/profile`, and `/alerts` while a job runs.
 //! * **Analysis** ([`analysis`]) — critical-path reconstruction over the
 //!   span tree: which machine gated each superstep, per-machine blame
 //!   (critical-path time vs barrier waiting, the automated Fig. 13
@@ -30,6 +30,18 @@
 //!   metrics snapshots, span deltas, and superstep timings for the
 //!   multi-process backend: `worker="N"`-labelled series on `/metrics`,
 //!   clock-offset-aligned trace export, and degraded-aware `/healthz`.
+//! * **Continuous profiler** ([`profile`]) — a background sampler that
+//!   snapshots each thread's live span stack into flamegraph-compatible
+//!   folded-stack counts (`--profile-out`, `/profile`, and the cluster
+//!   flame view in `bpart report --profile`), plus an optional
+//!   global-allocator wrapper attributing bytes to the innermost span.
+//! * **Tail-based sampling** ([`sampling`]) — admission control for the
+//!   span ring on long runs: slow/flagged spans keep full detail, fast
+//!   repetitive ones downsample probabilistically.
+//! * **Alerting** ([`alerts`]) — declarative threshold / ratio /
+//!   burn-rate / quantile rules over the metrics registry with
+//!   for-duration + cooldown hysteresis, evaluated in the background,
+//!   served on `/alerts`, and folded into `/healthz` degraded state.
 //! * **Run history** ([`history`]) — one JSON record per run under
 //!   `results/history/`, diffed by `bpart obs diff` with watched-metric
 //!   regression gating.
@@ -64,13 +76,16 @@
 //! assert!(text.contains("doc_events"));
 //! ```
 
+pub mod alerts;
 pub mod analysis;
 pub mod export;
 pub mod federation;
 pub mod history;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod rss;
+pub mod sampling;
 pub mod serve;
 pub mod tracer;
 pub mod validate;

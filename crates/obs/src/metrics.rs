@@ -145,6 +145,12 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Estimated `q`-quantile of the observations — see
+    /// [`quantile_from_buckets`] for the semantics.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.bounds, &self.bucket_counts(), q)
+    }
 }
 
 enum Metric {
@@ -272,6 +278,63 @@ pub fn sanitize_name(name: &str) -> String {
     out
 }
 
+/// Formats an `f64` for JSON bodies: non-finite values become `null`
+/// (JSON has no NaN/Inf). Shared by the `/progress` and `/alerts`
+/// renderers.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Estimates the `q`-quantile (`0.0 ..= 1.0`) of a histogram from its
+/// Prometheus-style buckets: `bounds` are the finite ascending upper
+/// bounds, `buckets` the **non-cumulative** per-bucket counts with the
+/// implicit `+Inf` bucket last (`bounds.len() + 1` entries — exactly what
+/// [`Histogram::bucket_counts`] and [`MetricView::Histogram`] carry).
+///
+/// Uses Prometheus `histogram_quantile` semantics: linear interpolation
+/// within the bucket containing the rank, a lower edge of 0 for the first
+/// bucket, and the highest finite bound when the rank lands in `+Inf`
+/// (an unbounded bucket cannot be interpolated). Returns `None` for an
+/// empty histogram, a malformed shape, or `q` outside `[0, 1]`.
+///
+/// This is the one shared bucket-math implementation — `bpart report`
+/// (span-duration percentiles), the alert engine's `Quantile` rules, and
+/// the federation RTT series all call it rather than re-deriving.
+pub fn quantile_from_buckets(bounds: &[f64], buckets: &[u64], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) || buckets.len() != bounds.len() + 1 {
+        return None;
+    }
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return None;
+    }
+    // The observation rank the quantile falls on (1-based, clamped so
+    // q=0 maps into the first occupied bucket).
+    let rank = (q * count as f64).max(1.0);
+    let mut cumulative = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cumulative += c;
+        if (cumulative as f64) < rank {
+            continue;
+        }
+        let Some(&upper) = bounds.get(i) else {
+            // Rank lands in +Inf: the best defensible point estimate is
+            // the largest finite bound (none ⇒ the histogram is all-+Inf
+            // and carries no scale information).
+            return bounds.last().copied();
+        };
+        let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+        let below = cumulative - c;
+        let into = (rank - below as f64) / c as f64;
+        return Some(lower + (upper - lower) * into);
+    }
+    None
+}
+
 fn fmt_f64(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
@@ -358,13 +421,6 @@ pub fn prometheus_snapshot() -> String {
 /// ```
 pub fn json_snapshot() -> String {
     use crate::export::escape_json;
-    fn json_f64(v: f64) -> String {
-        if v.is_finite() {
-            format!("{v}")
-        } else {
-            "null".to_string()
-        }
-    }
     let reg = registry();
     let mut counters = Vec::new();
     let mut gauges = Vec::new();
@@ -472,6 +528,55 @@ mod tests {
             !text.contains("# warning: sanitised name collision: \"t.promsnap"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // 100 observations uniform over (0, 10]: bounds 5|10, 50 in each.
+        let bounds = [5.0, 10.0];
+        let buckets = [50, 50, 0];
+        // p50 sits exactly at the first bucket's upper edge.
+        assert_eq!(quantile_from_buckets(&bounds, &buckets, 0.5), Some(5.0));
+        // p75 is halfway through the second bucket.
+        assert_eq!(quantile_from_buckets(&bounds, &buckets, 0.75), Some(7.5));
+        // p0 clamps to rank 1 inside the first bucket, not below it.
+        let p0 = quantile_from_buckets(&bounds, &buckets, 0.0).unwrap();
+        assert!(p0 > 0.0 && p0 <= 5.0, "{p0}");
+        // p100 is the top of the last occupied bucket.
+        assert_eq!(quantile_from_buckets(&bounds, &buckets, 1.0), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_handles_inf_bucket_and_bad_inputs() {
+        let bounds = [10.0, 1000.0];
+        // 99 fast, 1 slow: the p99.5 rank lands in the slow bucket and
+        // interpolates about halfway through it.
+        let p995 = quantile_from_buckets(&bounds, &[99, 1, 0], 0.995).unwrap();
+        assert!((500.0..=510.0).contains(&p995), "{p995}");
+        // Rank landing in +Inf degrades to the largest finite bound.
+        assert_eq!(
+            quantile_from_buckets(&bounds, &[0, 0, 5], 0.5),
+            Some(1000.0)
+        );
+        // Empty histogram, bad q, and shape mismatch are all None.
+        assert_eq!(quantile_from_buckets(&bounds, &[0, 0, 0], 0.5), None);
+        assert_eq!(quantile_from_buckets(&bounds, &[1, 1, 1], 1.5), None);
+        assert_eq!(quantile_from_buckets(&bounds, &[1, 1], 0.5), None);
+        // No finite bounds at all: no scale information.
+        assert_eq!(quantile_from_buckets(&[], &[7], 0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_reads_live_buckets() {
+        let h = histogram("t.quant.hist", &[1.0, 2.0, 4.0]);
+        for _ in 0..9 {
+            h.observe(0.5);
+        }
+        h.observe(3.0);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 <= 1.0, "median in the fast bucket: {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > 2.0, "tail in the slow bucket: {p99}");
     }
 
     #[test]

@@ -355,32 +355,58 @@ pub fn render_report(spans: &[ParsedSpan]) -> String {
         render_node(&mut out, node, "", i + 1 == tree.len(), total_ns);
     }
 
-    // Flat totals per span name, across all tree positions.
-    let mut flat: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    // Flat totals per span name, across all tree positions. Durations
+    // also land in log-spaced `le` buckets so the p50/p99 columns come
+    // from the same quantile estimator as the alert rules and the
+    // federation RTT series (`metrics::quantile_from_buckets`).
+    let mut flat: BTreeMap<&str, (u64, u64, Vec<u64>)> = BTreeMap::new();
     for s in spans {
-        let e = flat.entry(s.name.as_str()).or_insert((0, 0));
+        let e = flat
+            .entry(s.name.as_str())
+            .or_insert_with(|| (0, 0, vec![0u64; DUR_BOUNDS_NS.len() + 1]));
         e.0 += 1;
         e.1 += s.dur_ns;
+        let idx = DUR_BOUNDS_NS
+            .iter()
+            .position(|&b| s.dur_ns as f64 <= b)
+            .unwrap_or(DUR_BOUNDS_NS.len());
+        e.2[idx] += 1;
     }
-    let mut rows: Vec<(&str, u64, u64)> = flat.into_iter().map(|(n, (c, t))| (n, c, t)).collect();
+    let mut rows: Vec<(&str, u64, u64, Vec<u64>)> = flat
+        .into_iter()
+        .map(|(n, (c, t, b))| (n, c, t, b))
+        .collect();
     rows.sort_by_key(|r| std::cmp::Reverse(r.2));
     let name_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(5).max(5);
     let _ = writeln!(out, "\nper-phase totals");
     let _ = writeln!(
         out,
-        "{:<name_w$}  {:>8}  {:>10}  {:>10}",
-        "phase", "count", "total", "mean"
+        "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "phase", "count", "total", "mean", "p50", "p99"
     );
-    for (name, count, ns) in rows {
+    for (name, count, ns, buckets) in rows {
+        let quant = |q: f64| {
+            crate::metrics::quantile_from_buckets(DUR_BOUNDS_NS, &buckets, q)
+                .map_or_else(|| "-".to_string(), |v| fmt_ns(v as u64))
+        };
         let _ = writeln!(
             out,
-            "{name:<name_w$}  {count:>8}  {:>10}  {:>10}",
+            "{name:<name_w$}  {count:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
             fmt_ns(ns),
             fmt_ns(ns / count.max(1)),
+            quant(0.5),
+            quant(0.99),
         );
     }
     out
 }
+
+/// Log-spaced duration bucket bounds (ns) for the per-phase quantile
+/// columns: a 1–2.5–5 series per decade from 1µs to 10s.
+const DUR_BOUNDS_NS: &[f64] = &[
+    1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8,
+    2.5e8, 5e8, 1e9, 2.5e9, 5e9, 1e10,
+];
 
 fn render_node(out: &mut String, node: &TreeNode, prefix: &str, last: bool, parent_ns: u64) {
     let branch = if last { "└─ " } else { "├─ " };

@@ -12,34 +12,110 @@
 //!   merely being frowned upon. An `O(m)` slip in the streaming path then
 //!   aborts the run rather than quietly passing on a big CI host.
 //!
-//! Both degrade gracefully off linux: measurement returns `None` and the
-//! gate falls back to trusting the pipeline's own accounting.
+//! Constrained kernels (containers, grsecurity, non-linux) can omit or
+//! truncate `/proc/self/status` fields, so parsing goes through the
+//! typed [`try_current_rss_bytes`] / [`try_peak_rss_bytes`] API with a
+//! [`ProcStatusError`] naming exactly what went wrong — never a panic.
+//! The `Option`-returning wrappers are kept for callers (the oom gate)
+//! that treat any miss as "platform doesn't expose it".
 
-/// Reads a `VmXXX:   1234 kB` line from `/proc/self/status`.
-#[cfg(target_os = "linux")]
-fn proc_status_kb(key: &str) -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix(key) {
-            let rest = rest.trim_start_matches(':').trim();
-            let kb: u64 = rest.split_whitespace().next()?.parse().ok()?;
-            return Some(kb * 1024);
+use std::fmt;
+
+/// Why a `/proc/self/status` field could not be read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProcStatusError {
+    /// `/proc/self/status` itself could not be read (non-linux, masked
+    /// procfs, …). Carries the OS error text.
+    Unreadable(String),
+    /// The file was read but the requested field is absent — constrained
+    /// kernels omit accounting fields, and truncated reads lose the tail.
+    MissingField(&'static str),
+    /// The field was present but its value didn't parse as `<kB> kB`.
+    Malformed { key: &'static str, line: String },
+}
+
+impl fmt::Display for ProcStatusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcStatusError::Unreadable(err) => {
+                write!(f, "/proc/self/status unreadable: {err}")
+            }
+            ProcStatusError::MissingField(key) => {
+                write!(f, "/proc/self/status has no {key} field")
+            }
+            ProcStatusError::Malformed { key, line } => {
+                write!(f, "/proc/self/status {key} line malformed: {line:?}")
+            }
         }
     }
-    None
+}
+
+impl std::error::Error for ProcStatusError {}
+
+/// Parses a `VmXXX:   1234 kB` line out of status-file `text`. Pure so
+/// fixture tests can exercise truncated and malformed files on any
+/// platform.
+fn parse_status_kb(text: &str, key: &'static str) -> Result<u64, ProcStatusError> {
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(key) else {
+            continue;
+        };
+        // Guard against prefix collisions (`VmRSS` vs a hypothetical
+        // `VmRSSX`): the key must be followed by the colon.
+        let Some(rest) = rest.strip_prefix(':') else {
+            continue;
+        };
+        let Some(token) = rest.split_whitespace().next() else {
+            return Err(ProcStatusError::Malformed {
+                key,
+                line: line.to_string(),
+            });
+        };
+        let kb: u64 = token.parse().map_err(|_| ProcStatusError::Malformed {
+            key,
+            line: line.to_string(),
+        })?;
+        return kb.checked_mul(1024).ok_or(ProcStatusError::Malformed {
+            key,
+            line: line.to_string(),
+        });
+    }
+    Err(ProcStatusError::MissingField(key))
+}
+
+/// Reads and parses one field from the live `/proc/self/status`.
+fn proc_status_bytes(key: &'static str) -> Result<u64, ProcStatusError> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status")
+            .map_err(|e| ProcStatusError::Unreadable(e.to_string()))?;
+        parse_status_kb(&status, key)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = key;
+        Err(ProcStatusError::Unreadable(
+            "no /proc/self/status on this platform".to_string(),
+        ))
+    }
+}
+
+/// Current resident set size in bytes (`VmRSS`), with a typed error when
+/// the kernel hides or mangles the field.
+pub fn try_current_rss_bytes() -> Result<u64, ProcStatusError> {
+    proc_status_bytes("VmRSS")
+}
+
+/// Lifetime peak resident set size in bytes (`VmHWM`), with a typed
+/// error when the kernel hides or mangles the field.
+pub fn try_peak_rss_bytes() -> Result<u64, ProcStatusError> {
+    proc_status_bytes("VmHWM")
 }
 
 /// Current resident set size in bytes (`VmRSS`), if the platform exposes
 /// it.
 pub fn current_rss_bytes() -> Option<u64> {
-    #[cfg(target_os = "linux")]
-    {
-        proc_status_kb("VmRSS")
-    }
-    #[cfg(not(target_os = "linux"))]
-    {
-        None
-    }
+    try_current_rss_bytes().ok()
 }
 
 /// Lifetime peak resident set size in bytes (`VmHWM`), if the platform
@@ -47,14 +123,7 @@ pub fn current_rss_bytes() -> Option<u64> {
 /// process has done so far, including phases before the caller started
 /// caring — measure in a child process when isolating one phase.
 pub fn peak_rss_bytes() -> Option<u64> {
-    #[cfg(target_os = "linux")]
-    {
-        proc_status_kb("VmHWM")
-    }
-    #[cfg(not(target_os = "linux"))]
-    {
-        None
-    }
+    try_peak_rss_bytes().ok()
 }
 
 #[cfg(unix)]
@@ -111,15 +180,88 @@ pub fn set_address_space_limit(bytes: u64) -> std::io::Result<()> {
 mod tests {
     use super::*;
 
+    /// A healthy status file (abridged from a real kernel).
+    const FULL_STATUS: &str = "\
+Name:\tbpart
+Umask:\t0022
+State:\tR (running)
+VmPeak:\t  123456 kB
+VmSize:\t  120000 kB
+VmHWM:\t   98304 kB
+VmRSS:\t   65536 kB
+Threads:\t4
+";
+
+    /// The truncated-status fixture: a constrained kernel (or a torn
+    /// read) that lost everything from `VmHWM` on.
+    const TRUNCATED_STATUS: &str = "\
+Name:\tbpart
+Umask:\t0022
+State:\tR (running)
+VmPeak:\t  123456 kB
+";
+
+    #[test]
+    fn parses_fields_from_a_full_status_file() {
+        assert_eq!(parse_status_kb(FULL_STATUS, "VmRSS"), Ok(65536 * 1024));
+        assert_eq!(parse_status_kb(FULL_STATUS, "VmHWM"), Ok(98304 * 1024));
+    }
+
+    #[test]
+    fn truncated_status_is_a_typed_missing_field_not_a_panic() {
+        assert_eq!(
+            parse_status_kb(TRUNCATED_STATUS, "VmHWM"),
+            Err(ProcStatusError::MissingField("VmHWM"))
+        );
+        assert_eq!(
+            parse_status_kb(TRUNCATED_STATUS, "VmRSS"),
+            Err(ProcStatusError::MissingField("VmRSS"))
+        );
+        // And the error renders something a human can act on.
+        let msg = ProcStatusError::MissingField("VmHWM").to_string();
+        assert!(msg.contains("VmHWM"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_values_are_typed_errors() {
+        let garbage = "VmRSS:\tnot-a-number kB\n";
+        assert!(matches!(
+            parse_status_kb(garbage, "VmRSS"),
+            Err(ProcStatusError::Malformed { key: "VmRSS", .. })
+        ));
+        let empty_value = "VmRSS:\n";
+        assert!(matches!(
+            parse_status_kb(empty_value, "VmRSS"),
+            Err(ProcStatusError::Malformed { key: "VmRSS", .. })
+        ));
+        // A kB count that would overflow the byte conversion.
+        let huge = format!("VmRSS:\t{} kB\n", u64::MAX);
+        assert!(matches!(
+            parse_status_kb(&huge, "VmRSS"),
+            Err(ProcStatusError::Malformed { key: "VmRSS", .. })
+        ));
+    }
+
+    #[test]
+    fn prefix_collisions_do_not_match() {
+        // `VmRSSExtra` must not satisfy a `VmRSS` lookup.
+        let tricky = "VmRSSExtra:\t10 kB\nVmRSS:\t20 kB\n";
+        assert_eq!(parse_status_kb(tricky, "VmRSS"), Ok(20 * 1024));
+    }
+
     #[test]
     #[cfg(target_os = "linux")]
     fn rss_readings_are_sane() {
-        let current = current_rss_bytes().expect("VmRSS should exist on linux");
-        let peak = peak_rss_bytes().expect("VmHWM should exist on linux");
+        let current = try_current_rss_bytes().expect("VmRSS should exist on linux");
+        let peak = try_peak_rss_bytes().expect("VmHWM should exist on linux");
         // A running test binary holds at least a few pages, and the peak
         // can never undercut the present.
         assert!(current > 64 * 1024, "current {current}");
         assert!(peak >= current, "peak {peak} < current {current}");
+        // The Option wrappers agree with the typed API modulo racing
+        // allocations (both must at least be present).
+        assert!(current_rss_bytes().is_some());
+        assert!(peak_rss_bytes().is_some());
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Tail-based span sampling for the tracer ring.
+//!
+//! The 65k ring is plenty for a bench run but a multi-hour job closes
+//! millions of spans, and plain FIFO eviction throws away exactly the
+//! spans you want after an incident: the slow superstep three hours ago,
+//! the replayed checkpoint, the one buffer that stalled. Tail-based
+//! sampling makes the *admission* decision after the span closes, when
+//! its duration (the "tail" signal) is known:
+//!
+//! * **slow spans always keep** — duration ≥ [`TailConfig::slow_factor`]
+//!   × the per-name EMA is anomalous by definition;
+//! * **flagged spans always keep** — fault/replay/stall sites call
+//!   [`SpanGuard::keep`](crate::SpanGuard::keep) so incident context
+//!   survives at full detail regardless of duration;
+//! * **warmup always keeps** — the first [`TailConfig::warmup`] closes of
+//!   each name are admitted unconditionally so the EMA has something to
+//!   converge on (and short unit-test runs are unaffected);
+//! * **fast repetitive spans downsample** — admitted at 1 in
+//!   [`TailConfig::keep_one_in`] via a cheap process-global LCG.
+//!
+//! Off by default; the CLI opts in via `BPART_TAIL_SAMPLE=1` (see
+//! DESIGN.md §16). Sampled-out spans are counted in both
+//! [`sampled_out`] and the `trace.tail_sampled_out` metric so exports can
+//! report the thinning instead of silently looking complete.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Tuning knobs for the tail-sampling admission policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TailConfig {
+    /// Keep any span at least this many times slower than its name's
+    /// exponential moving average duration.
+    pub slow_factor: f64,
+    /// Admission rate for fast repetitive spans (1 in N kept).
+    pub keep_one_in: u32,
+    /// Per-name unconditional admissions before downsampling starts.
+    pub warmup: u64,
+}
+
+impl Default for TailConfig {
+    fn default() -> Self {
+        TailConfig {
+            slow_factor: 4.0,
+            keep_one_in: 16,
+            warmup: 64,
+        }
+    }
+}
+
+/// EMA smoothing factor: new = (1-α)·old + α·sample.
+const EMA_ALPHA: f64 = 0.1;
+
+struct NameStats {
+    closes: u64,
+    ema_ns: f64,
+}
+
+struct SamplingState {
+    enabled: AtomicBool,
+    kept: AtomicU64,
+    sampled_out: AtomicU64,
+    rng: AtomicU64,
+    config: Mutex<TailConfig>,
+    stats: Mutex<HashMap<&'static str, NameStats>>,
+}
+
+fn state() -> &'static SamplingState {
+    static STATE: OnceLock<SamplingState> = OnceLock::new();
+    STATE.get_or_init(|| SamplingState {
+        enabled: AtomicBool::new(false),
+        kept: AtomicU64::new(0),
+        sampled_out: AtomicU64::new(0),
+        rng: AtomicU64::new(0x3243_F6A8_885A_308D),
+        config: Mutex::new(TailConfig::default()),
+        stats: Mutex::new(HashMap::new()),
+    })
+}
+
+/// Turns tail sampling on or off process-wide (off is the default — every
+/// closed span is admitted to the ring, the pre-existing behaviour).
+pub fn set_tail_sampling_enabled(enabled: bool) {
+    state().enabled.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether tail sampling is currently on.
+pub fn tail_sampling_enabled() -> bool {
+    state().enabled.load(Ordering::Relaxed)
+}
+
+/// Replaces the admission policy (also resets nothing else — per-name
+/// EMAs persist so tests can tune mid-run).
+pub fn set_tail_config(config: TailConfig) {
+    *state().config.lock().unwrap_or_else(|p| p.into_inner()) = config;
+}
+
+/// Spans admitted to the ring while sampling was on.
+pub fn kept() -> u64 {
+    state().kept.load(Ordering::Relaxed)
+}
+
+/// Spans discarded by the admission policy while sampling was on.
+pub fn sampled_out() -> u64 {
+    state().sampled_out.load(Ordering::Relaxed)
+}
+
+/// Clears counters and per-name statistics (for tests and run restarts).
+pub fn reset_tail_sampling() {
+    let s = state();
+    s.kept.store(0, Ordering::Relaxed);
+    s.sampled_out.store(0, Ordering::Relaxed);
+    s.stats.lock().unwrap_or_else(|p| p.into_inner()).clear();
+}
+
+fn lcg_next() -> u64 {
+    // Numerical Recipes LCG: deterministic per process, racy updates are
+    // fine (any interleaving still yields well-distributed draws).
+    let s = &state().rng;
+    let next = s
+        .load(Ordering::Relaxed)
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    s.store(next, Ordering::Relaxed);
+    next
+}
+
+fn tail_metrics() -> (
+    &'static crate::metrics::Counter,
+    &'static crate::metrics::Counter,
+) {
+    static CELL: OnceLock<(
+        &'static crate::metrics::Counter,
+        &'static crate::metrics::Counter,
+    )> = OnceLock::new();
+    *CELL.get_or_init(|| {
+        (
+            crate::metrics::counter("trace.tail_kept"),
+            crate::metrics::counter("trace.tail_sampled_out"),
+        )
+    })
+}
+
+/// The pure admission policy: given the per-name state *before* this
+/// close (`closes` so far, current `ema_ns`), the span's duration, the
+/// explicit pin, and a uniform random draw, decide admission. Extracted
+/// from the stateful path so tests exercise the policy without flipping
+/// the process-global switch under concurrently-running tests.
+fn admit_decision(
+    config: &TailConfig,
+    closes_before: u64,
+    ema_ns: f64,
+    dur_ns: u64,
+    keep: bool,
+    draw: u64,
+) -> bool {
+    keep || closes_before < config.warmup
+        || dur_ns as f64 >= config.slow_factor * ema_ns
+        || config.keep_one_in <= 1
+        || draw % u64::from(config.keep_one_in) == 0
+}
+
+/// The admission decision, called by the tracer as a span closes (after
+/// the open-stack bookkeeping, before the ring push). `keep` is the
+/// explicit pin from [`SpanGuard::keep`](crate::SpanGuard::keep).
+pub(crate) fn admit(name: &'static str, dur_ns: u64, keep: bool) -> bool {
+    let s = state();
+    if !s.enabled.load(Ordering::Relaxed) {
+        return true;
+    }
+    let config = *s.config.lock().unwrap_or_else(|p| p.into_inner());
+    let (closes_before, ema_before) = {
+        let mut stats = s.stats.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = stats.entry(name).or_insert(NameStats {
+            closes: 0,
+            ema_ns: dur_ns as f64,
+        });
+        let before = (entry.closes, entry.ema_ns);
+        entry.closes += 1;
+        entry.ema_ns = (1.0 - EMA_ALPHA) * entry.ema_ns + EMA_ALPHA * dur_ns as f64;
+        before
+    };
+    let admitted = admit_decision(&config, closes_before, ema_before, dur_ns, keep, lcg_next());
+    let (kept_c, out_c) = tail_metrics();
+    if admitted {
+        s.kept.fetch_add(1, Ordering::Relaxed);
+        kept_c.add(1);
+    } else {
+        s.sampled_out.fetch_add(1, Ordering::Relaxed);
+        out_c.add(1);
+    }
+    admitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The end-to-end path (spans actually thinned out of the ring) lives
+    // in `tests/tail_sampling.rs`: flipping the process-global switch
+    // here would sample spans out from under the crate's other unit
+    // tests. These tests exercise the pure policy.
+
+    #[test]
+    fn disabled_admits_everything() {
+        // `admit` short-circuits before touching any policy state.
+        assert!(!tail_sampling_enabled());
+        for _ in 0..100 {
+            assert!(admit("samp.off", 1, false));
+        }
+    }
+
+    #[test]
+    fn warmup_pin_and_slow_spans_always_admit() {
+        let cfg = TailConfig {
+            slow_factor: 4.0,
+            keep_one_in: 1000,
+            warmup: 8,
+        };
+        // Warmup closes are admitted regardless of the draw.
+        for closes in 0..8 {
+            assert!(admit_decision(&cfg, closes, 1000.0, 1000, false, 7));
+        }
+        // Past warmup, a fast span with a losing draw drops...
+        assert!(!admit_decision(&cfg, 8, 1000.0, 1000, false, 7));
+        // ...a winning draw keeps it (1 in keep_one_in)...
+        assert!(admit_decision(&cfg, 8, 1000.0, 1000, false, 1000));
+        // ...a 4x-slower-than-EMA span is always kept...
+        assert!(admit_decision(&cfg, 8, 1000.0, 4000, false, 7));
+        // ...and an explicit pin beats the dice.
+        assert!(admit_decision(&cfg, 8, 1000.0, 1, true, 7));
+    }
+
+    #[test]
+    fn keep_one_in_of_one_disables_downsampling() {
+        let cfg = TailConfig {
+            slow_factor: 100.0,
+            keep_one_in: 1,
+            warmup: 0,
+        };
+        for draw in 0..50 {
+            assert!(admit_decision(&cfg, 1000, 1e9, 1, false, draw));
+        }
+    }
+
+    #[test]
+    fn ema_update_tracks_a_regime_change() {
+        // Drive the stateful EMA math directly (it runs even when the
+        // draw admits everything).
+        let mut stats = NameStats {
+            closes: 0,
+            ema_ns: 100_000.0,
+        };
+        for _ in 0..100 {
+            stats.closes += 1;
+            stats.ema_ns = (1.0 - EMA_ALPHA) * stats.ema_ns + EMA_ALPHA * 1000.0;
+        }
+        assert!(
+            (1000.0..1100.0).contains(&stats.ema_ns),
+            "ema must converge onto the new regime: {}",
+            stats.ema_ns
+        );
+        let cfg = TailConfig::default();
+        assert!(admit_decision(
+            &cfg,
+            stats.closes,
+            stats.ema_ns,
+            10_000,
+            false,
+            7
+        ));
+    }
+}

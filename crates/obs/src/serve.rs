@@ -4,16 +4,18 @@
 //! Production systems are scraped while they run; a post-mortem trace
 //! dump is no help three hours into a large partition job. [`start`]
 //! binds a `std::net::TcpListener` (port `0` picks a free port — the
-//! bound address is on the returned handle) and answers four read-only
+//! bound address is on the returned handle) and answers six read-only
 //! endpoints from a background thread:
 //!
 //! | path        | body                                                  |
 //! |-------------|-------------------------------------------------------|
 //! | `/healthz`  | `ok` liveness probe; structured `ok`/`degraded` JSON  |
-//! |             | (dead workers, recovery flag) on distributed drivers  |
+//! |             | (dead workers, recovery, firing alerts) on drivers    |
 //! | `/metrics`  | Prometheus exposition + federated `worker="N"` series |
 //! | `/spans`    | the current tracer ring as JSONL (`trace_to_jsonl`)   |
 //! | `/progress` | registry JSON + per-worker `"workers"` section        |
+//! | `/profile`  | cluster-wide folded-stack flamegraph text             |
+//! | `/alerts`   | a fresh alert-rule evaluation as a JSON array         |
 //!
 //! The responder is hand-rolled on purpose: the crate's zero-dependency
 //! rule (see the crate docs) covers the serving layer too, and the
@@ -230,10 +232,21 @@ fn handle_connection(stream: TcpStream) -> io::Result<()> {
                 export::trace_to_jsonl(&tracer::snapshot()),
             ),
             "/progress" => ("200 OK", "application/json", federated_progress_body()),
+            "/profile" => (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                federation::global().cluster_profile_folded(),
+            ),
+            "/alerts" => {
+                crate::alerts::evaluate_now();
+                ("200 OK", "application/json", crate::alerts::alerts_json())
+            }
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                format!("no such endpoint {path:?}; try /healthz /metrics /spans /progress\n"),
+                format!(
+                    "no such endpoint {path:?}; try /healthz /metrics /spans /progress /profile /alerts\n"
+                ),
             ),
         }
     };
@@ -253,6 +266,13 @@ mod tests {
 
     /// Minimal HTTP GET: returns (status line, body).
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let (status, _, body) = get_full(addr, path);
+        (status, body)
+    }
+
+    /// Like [`get`] but also extracts the `Content-Type` header, so
+    /// tests can pin the media type a scraper would negotiate on.
+    fn get_full(addr: SocketAddr, path: &str) -> (String, String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
         write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
         let mut response = String::new();
@@ -261,7 +281,12 @@ mod tests {
             .split_once("\r\n\r\n")
             .expect("header/body separator");
         let status = head.lines().next().unwrap_or("").to_string();
-        (status, body.to_string())
+        let content_type = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Type: "))
+            .unwrap_or("")
+            .to_string();
+        (status, content_type, body.to_string())
     }
 
     #[test]
@@ -303,8 +328,22 @@ mod tests {
         assert!(body.contains("\"counters\""), "{body}");
         assert!(body.contains("\"t.serve.requests\":3"), "{body}");
 
-        let (status, _) = get(addr, "/flamegraph");
+        let (status, content_type, body) = get_full(addr, "/flamegraph");
         assert!(status.contains("404"), "{status}");
+        assert_eq!(content_type, "text/plain; charset=utf-8");
+        for endpoint in [
+            "/healthz",
+            "/metrics",
+            "/spans",
+            "/progress",
+            "/profile",
+            "/alerts",
+        ] {
+            assert!(
+                body.contains(endpoint),
+                "404 body missing {endpoint}: {body}"
+            );
+        }
 
         server.shutdown();
         // The port is released: a fresh bind to the same address works.
@@ -347,6 +386,49 @@ mod tests {
             }
         }
         assert!(seen, "federated series never appeared on the endpoints");
+        server.shutdown();
+    }
+
+    #[test]
+    fn profile_and_alerts_endpoints_serve_typed_bodies() {
+        let server = start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        // /alerts: a fresh evaluation rendered as a JSON array.
+        let (status, content_type, body) = get_full(addr, "/alerts");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(content_type, "application/json");
+        assert!(body.starts_with('['), "{body}");
+        assert!(body.trim_end().ends_with(']'), "{body}");
+
+        // /progress and /healthz carry explicit media types too.
+        let (_, content_type, _) = get_full(addr, "/progress");
+        assert_eq!(content_type, "application/json");
+        let (_, content_type, body) = get_full(addr, "/healthz");
+        if body.starts_with('{') {
+            assert_eq!(content_type, "application/json");
+        } else {
+            assert_eq!(content_type, "text/plain; charset=utf-8");
+        }
+
+        // /profile: the cluster flame view, valid folded-stack text.
+        // Absorb-and-scrape in a retry loop — the federation store is
+        // process-global and another test resets it concurrently.
+        let mut seen = false;
+        for _ in 0..5 {
+            federation::global()
+                .absorb_profile(31, 0, 1, b"t.serve.profiled;leaf 4\n")
+                .expect("absorb profile");
+            let (status, content_type, body) = get_full(addr, "/profile");
+            assert!(status.contains("200"), "{status}");
+            assert_eq!(content_type, "text/plain; charset=utf-8");
+            crate::profile::parse_folded(&body).expect("profile body parses as folded text");
+            if body.contains("worker:31;t.serve.profiled;leaf 4") {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "/profile never contained the federated stacks");
         server.shutdown();
     }
 

@@ -136,6 +136,10 @@ pub fn span(name: &'static str) -> SpanGuard {
         open.push(id);
         (parent, THREAD_ORD.with(|&t| t))
     });
+    // The continuous profiler mirrors the open stack as a shared
+    // name stack the sampler thread can snapshot; the guard remembers
+    // whether it pushed so toggling profiling mid-span never unbalances.
+    let profiled = crate::profile::push_live(name);
     SpanGuard {
         open: Some(OpenSpan {
             id,
@@ -145,6 +149,8 @@ pub fn span(name: &'static str) -> SpanGuard {
             start_ns: epoch.elapsed().as_nanos() as u64,
             started: Instant::now(),
             attrs: Vec::new(),
+            profiled,
+            keep: false,
         }),
     }
 }
@@ -157,6 +163,10 @@ struct OpenSpan {
     start_ns: u64,
     started: Instant,
     attrs: Vec<(&'static str, String)>,
+    /// Whether this span pushed onto the profiler's live stack.
+    profiled: bool,
+    /// Pin against tail sampling (see [`SpanGuard::keep`]).
+    keep: bool,
 }
 
 /// An open span; closes (and records) on drop.
@@ -177,6 +187,17 @@ impl SpanGuard {
     pub fn id(&self) -> Option<u64> {
         self.open.as_ref().map(|o| o.id)
     }
+
+    /// Pins this span against tail-based sampling: it is always admitted
+    /// to the ring regardless of the downsampling policy. Fault, replay,
+    /// and stall sites call this so incident context survives long runs
+    /// at full detail (see [`crate::sampling`]). A no-op on an inert
+    /// guard and when tail sampling is off.
+    pub fn keep(&mut self) {
+        if let Some(open) = &mut self.open {
+            open.keep = true;
+        }
+    }
 }
 
 impl Drop for SpanGuard {
@@ -194,13 +215,22 @@ impl Drop for SpanGuard {
                 stack.retain(|&id| id != open.id);
             }
         });
+        if open.profiled {
+            crate::profile::pop_live(open.name);
+        }
+        let dur_ns = open.started.elapsed().as_nanos() as u64;
+        // Tail-based admission: the stack bookkeeping above already
+        // happened, so a sampled-out span simply leaves no record.
+        if !crate::sampling::admit(open.name, dur_ns, open.keep) {
+            return;
+        }
         let record = SpanRecord {
             id: open.id,
             parent: open.parent,
             name: open.name,
             thread: open.thread,
             start_ns: open.start_ns,
-            dur_ns: open.started.elapsed().as_nanos() as u64,
+            dur_ns,
             attrs: open.attrs,
         };
         let s = state();

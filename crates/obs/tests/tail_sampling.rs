@@ -1,0 +1,118 @@
+//! End-to-end tail-sampling tests: spans actually thinned out of the
+//! tracer ring. These live in their own integration binary because the
+//! sampling switch is process-global — flipping it in the crate's unit
+//! tests would sample spans out from under every other test.
+
+use bpart_obs::sampling::{
+    kept, reset_tail_sampling, sampled_out, set_tail_config, set_tail_sampling_enabled, TailConfig,
+};
+use bpart_obs::tracer::{clear_trace, set_trace_enabled, snapshot};
+use std::sync::Mutex;
+
+/// Both tests flip the process-global sampling switch; serialize them.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn fast_repetitive_spans_thin_but_warmup_and_pins_survive() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    set_trace_enabled(true);
+    clear_trace();
+    reset_tail_sampling();
+    set_tail_config(TailConfig {
+        // An effectively-infinite slow factor isolates the downsampling
+        // path: nothing gets kept for being slow.
+        slow_factor: 1e12,
+        keep_one_in: 8,
+        warmup: 16,
+    });
+    set_tail_sampling_enabled(true);
+
+    const CLOSES: usize = 516;
+    for _ in 0..CLOSES {
+        drop(bpart_obs::span("tail.e2e.fast"));
+    }
+    // Explicit pins (the fault/replay/stall call sites) beat the dice.
+    const PINNED: usize = 50;
+    for _ in 0..PINNED {
+        let mut g = bpart_obs::span("tail.e2e.pinned");
+        g.keep();
+    }
+
+    set_tail_sampling_enabled(false);
+
+    let spans = snapshot();
+    let fast = spans.iter().filter(|s| s.name == "tail.e2e.fast").count();
+    let pinned = spans.iter().filter(|s| s.name == "tail.e2e.pinned").count();
+    assert_eq!(pinned, PINNED, "every keep()-pinned span must be retained");
+    assert!(
+        fast >= 16,
+        "the warmup closes are admitted unconditionally: {fast}"
+    );
+    // Expectation past warmup is ~1/8 admitted (500/8 ≈ 62); anything
+    // close to the full count means no thinning happened.
+    assert!(
+        fast < CLOSES / 2,
+        "fast repetitive spans must thin out of the ring: {fast}/{CLOSES}"
+    );
+    assert_eq!(
+        kept() as usize,
+        fast + pinned,
+        "kept counter must match what reached the ring"
+    );
+    assert_eq!(
+        sampled_out() as usize,
+        CLOSES - fast,
+        "sampled_out must account for every discarded close"
+    );
+
+    clear_trace();
+    reset_tail_sampling();
+    set_tail_config(TailConfig::default());
+}
+
+#[test]
+fn slow_outlier_spans_always_admit() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    set_trace_enabled(true);
+    clear_trace();
+    reset_tail_sampling();
+    set_tail_config(TailConfig {
+        slow_factor: 4.0,
+        // Without the slow-keep rule this would admit ~nothing.
+        keep_one_in: 1_000_000,
+        warmup: 16,
+    });
+    set_tail_sampling_enabled(true);
+
+    // Converge the EMA onto sub-microsecond closes...
+    for _ in 0..64 {
+        drop(bpart_obs::span("tail.e2e.outlier"));
+    }
+    // ...then close escalating outliers. Each is ≥4x the EMA at its own
+    // close (the EMA chases the previous outlier, so equal-duration slow
+    // spans would stop qualifying — escalation keeps each one anomalous)
+    // and must be admitted regardless of the draw.
+    let slow_ms = [1u64, 4, 16];
+    for ms in slow_ms {
+        let g = bpart_obs::span("tail.e2e.outlier");
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        drop(g);
+    }
+
+    set_tail_sampling_enabled(false);
+
+    let spans = snapshot();
+    let slow_retained = spans
+        .iter()
+        .filter(|s| s.name == "tail.e2e.outlier" && s.dur_ns >= 500_000)
+        .count();
+    assert_eq!(
+        slow_retained,
+        slow_ms.len(),
+        "every slow outlier must survive admission"
+    );
+
+    clear_trace();
+    reset_tail_sampling();
+    set_tail_config(TailConfig::default());
+}

@@ -246,6 +246,12 @@ impl WalkEngine {
             let mut step_span = bpart_obs::span("walker.superstep");
             step_span.attr("superstep", superstep);
             step_span.attr("active", active);
+            if replaying {
+                step_span.attr("replay", true);
+                // Pin replayed supersteps past the tail sampler: they are
+                // exactly the spans a post-mortem needs at full detail.
+                step_span.keep();
+            }
             let cluster = &self.cluster;
             let record = self.record_paths;
             let max_steps = app.walk_length();
